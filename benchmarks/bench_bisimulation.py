@@ -1,0 +1,49 @@
+"""Benchmark E12 -- bisimulation and model checking at scale (Section 4.2).
+
+Partition refinement and model checking are the workhorses behind every
+impossibility argument in the reproduction; this benchmark tracks how they
+scale with the number of nodes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import random_bounded_degree_graph, random_regular_graph
+from repro.logic.bisimulation import bisimilarity_partition, bounded_bisimilarity_partition
+from repro.logic.semantics import extension
+from repro.logic.syntax import Diamond, GradedDiamond, Prop
+from repro.modal.encoding import KripkeVariant, kripke_encoding
+
+
+@pytest.mark.parametrize("size", [25, 100, 400], ids=lambda n: f"n{n}")
+def test_partition_refinement(benchmark, size):
+    graph = random_bounded_degree_graph(size, 3, seed=size)
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    partition = benchmark(bisimilarity_partition, encoding)
+    assert len(partition) == len(encoding.worlds)
+
+
+@pytest.mark.parametrize("size", [25, 100, 400], ids=lambda n: f"n{n}")
+def test_graded_partition_refinement(benchmark, size):
+    graph = random_bounded_degree_graph(size, 3, seed=size)
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    partition = benchmark(bisimilarity_partition, encoding, graded=True)
+    assert len(partition) == len(encoding.worlds)
+
+
+@pytest.mark.parametrize("rounds", [1, 3, 6], ids=lambda r: f"k{r}")
+def test_bounded_refinement(benchmark, rounds):
+    graph = random_regular_graph(3, 200, seed=9)
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    partition = benchmark(bounded_bisimilarity_partition, encoding, rounds, True)
+    assert len(partition) == 200
+
+
+@pytest.mark.parametrize("size", [50, 200, 800], ids=lambda n: f"n{n}")
+def test_model_checking_scales(benchmark, size):
+    graph = random_bounded_degree_graph(size, 3, seed=size)
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    formula = GradedDiamond(Diamond(Prop("deg3"), index=("*", "*")), grade=2, index=("*", "*"))
+    truth = benchmark(extension, encoding, formula)
+    assert truth is not None

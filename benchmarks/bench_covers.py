@@ -1,0 +1,27 @@
+"""Benchmark E9 -- symmetric port numberings of regular graphs (Lemma 15, Figure 8).
+
+Times the whole Lemma 15 pipeline (bipartite double cover, 1-factorisation,
+port assignment) as the graph grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.covers import bipartite_double_cover, symmetric_port_numbering
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.matching import one_factorisation
+
+
+@pytest.mark.parametrize("size", [16, 48, 96], ids=lambda n: f"n{n}")
+def test_symmetric_port_numbering_construction(benchmark, size):
+    graph = random_regular_graph(3, size, seed=size)
+    numbering = benchmark(symmetric_port_numbering, graph)
+    assert len(numbering.ports()) == 3 * size
+
+
+@pytest.mark.parametrize("size", [16, 48, 96], ids=lambda n: f"n{n}")
+def test_one_factorisation_of_double_cover(benchmark, size):
+    double = bipartite_double_cover(random_regular_graph(3, size, seed=size))
+    factors = benchmark(one_factorisation, double)
+    assert len(factors) == 3

@@ -1,0 +1,47 @@
+"""Benchmark E2 -- the execution engine across the seven models (Figures 3-4, 6).
+
+Runs one-round and multi-round workloads through every receive/send mode on a
+medium-size bounded-degree graph, confirming that the shared engine serves all
+models and measuring the per-round cost of each projection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.basic import (
+    BroadcastMinimumDegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    NeighbourDegreeSumAlgorithm,
+    PortEchoAlgorithm,
+    RoundCounterAlgorithm,
+)
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import SomeOddNeighbourAlgorithm
+from repro.execution.runner import run
+from repro.graphs.generators import random_regular_graph
+
+GRAPH = random_regular_graph(3, 150, seed=2)
+
+ONE_ROUND_ALGORITHMS = {
+    "VV (PortEcho)": PortEchoAlgorithm(),
+    "MV (GatherDegrees)": GatherDegreesAlgorithm(),
+    "SV (LeafElection)": LeafElectionAlgorithm(),
+    "VB (BroadcastMinDegree)": BroadcastMinimumDegreeAlgorithm(),
+    "MB (NeighbourDegreeSum)": NeighbourDegreeSumAlgorithm(),
+    "SB (SomeOddNeighbour)": SomeOddNeighbourAlgorithm(),
+}
+
+
+@pytest.mark.parametrize("label", list(ONE_ROUND_ALGORITHMS), ids=list(ONE_ROUND_ALGORITHMS))
+def test_one_round_execution_per_model(benchmark, label):
+    algorithm = ONE_ROUND_ALGORITHMS[label]
+    result = benchmark(run, algorithm, GRAPH)
+    assert result.halted and result.rounds <= 1
+
+
+@pytest.mark.parametrize("rounds", [1, 5, 25], ids=lambda r: f"T{r}")
+def test_multi_round_execution_scales_linearly(benchmark, rounds):
+    algorithm = RoundCounterAlgorithm(rounds)
+    result = benchmark(run, algorithm, GRAPH)
+    assert result.rounds == rounds

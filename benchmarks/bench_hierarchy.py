@@ -1,0 +1,29 @@
+"""Benchmark E3 -- assembling the full classification (Figure 5b).
+
+Times the mechanical re-derivation of the linear order
+SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc from checked simulations and bisimulation
+witnesses, and each separation certificate on its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.e03_hierarchy import build_classification
+from repro.separations import matchless_separation, odd_odd_separation, star_separation
+
+
+def test_full_classification(benchmark):
+    report = benchmark(build_classification)
+    assert report.all_verified()
+    assert len(report.rows()) == 6
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [odd_odd_separation, star_separation, matchless_separation],
+    ids=["SB-vs-MB", "VB-vs-SV", "VV-vs-VVc"],
+)
+def test_single_separation_certificate(benchmark, factory):
+    evidence = factory()
+    assert benchmark(evidence.verify)

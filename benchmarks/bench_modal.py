@@ -1,0 +1,78 @@
+"""Benchmark E4 -- the modal-logic correspondence (Theorem 2, Table 3).
+
+Times the three moving parts of the capture theorem: evaluating a formula on
+the Kripke encoding of a port-numbered graph (model checking), executing the
+compiled algorithm on the same graph, and compiling a finite-state machine
+into a formula.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.runner import run
+from repro.graphs.generators import random_regular_graph
+from repro.logic.semantics import extension
+from repro.logic.syntax import And, Diamond, GradedDiamond, Not, Prop
+from repro.machines.models import ProblemClass
+from repro.machines.state_machine import FiniteStateMachine
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.encoding import KripkeVariant, kripke_encoding
+from repro.modal.formula_to_algorithm import algorithm_for_formula
+
+GRAPH = random_regular_graph(3, 100, seed=4)
+
+FORMULAS = {
+    "SB-depth2": (
+        ProblemClass.SB,
+        Diamond(And(Prop("deg3"), Not(Diamond(Prop("deg1"), index=("*", "*")))), index=("*", "*")),
+    ),
+    "MB-graded": (
+        ProblemClass.MB,
+        GradedDiamond(Diamond(Prop("deg3"), index=("*", "*")), grade=2, index=("*", "*")),
+    ),
+    "SV-ports": (
+        ProblemClass.SV,
+        Diamond(Diamond(Prop("deg3"), index=("*", 2)), index=("*", 1)),
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(FORMULAS), ids=list(FORMULAS))
+def test_model_checking(benchmark, label):
+    problem_class, formula = FORMULAS[label]
+    from repro.modal.encoding import variant_for_class
+
+    encoding = kripke_encoding(GRAPH, variant=variant_for_class(problem_class))
+    result = benchmark(extension, encoding, formula)
+    assert result is not None
+
+
+@pytest.mark.parametrize("label", list(FORMULAS), ids=list(FORMULAS))
+def test_compiled_algorithm_execution(benchmark, label):
+    problem_class, formula = FORMULAS[label]
+    algorithm = algorithm_for_formula(formula, problem_class)
+    result = benchmark(run, algorithm, GRAPH)
+    assert result.halted
+
+
+def test_machine_to_formula_compilation(benchmark):
+    def message(state, port):
+        return "O" if state == "odd" else "E"
+
+    def transition(state, vector):
+        return 1 if "O" in set(vector) else 0
+
+    machine = FiniteStateMachine(
+        delta_bound=3,
+        intermediate_states=frozenset({"even", "odd"}),
+        stopping_states=frozenset({0, 1}),
+        messages=frozenset({"E", "O"}),
+        initial_states={d: ("odd" if d % 2 else "even") for d in range(4)},
+        message_table=message,
+        transition_table=transition,
+    )
+    formula = benchmark(formula_for_machine, machine, ProblemClass.SB, 1)
+    from repro.logic.syntax import modal_depth
+
+    assert modal_depth(formula) == 1

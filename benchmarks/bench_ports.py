@@ -1,0 +1,51 @@
+"""Benchmark E1 -- port numbering construction and enumeration (Figures 1-2).
+
+Regenerates the Section 1.2 artefacts: builds consistent and random port
+numberings of increasingly large graphs and enumerates all consistent
+numberings of small witness graphs (the basis of every adversarial check in
+the reproduction).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, random_regular_graph, star_graph
+from repro.graphs.ports import (
+    all_port_numberings,
+    consistent_port_numbering,
+    random_port_numbering,
+)
+
+
+@pytest.mark.parametrize("size", [16, 64, 256], ids=lambda n: f"n{n}")
+def test_consistent_numbering_construction(benchmark, size):
+    graph = random_regular_graph(3, size, seed=1)
+    numbering = benchmark(consistent_port_numbering, graph)
+    assert numbering.is_consistent()
+
+
+@pytest.mark.parametrize("size", [16, 64, 256], ids=lambda n: f"n{n}")
+def test_random_numbering_construction(benchmark, size):
+    graph = cycle_graph(size)
+    rng = random.Random(7)
+    numbering = benchmark(random_port_numbering, graph, rng)
+    assert len(numbering.ports()) == 2 * size
+
+
+def test_exhaustive_enumeration_of_star(benchmark):
+    graph = star_graph(4)
+
+    def enumerate_all():
+        return sum(1 for _ in all_port_numberings(graph, consistent_only=True))
+
+    count = benchmark(enumerate_all)
+    assert count == 24
+
+
+def test_consistency_check(benchmark):
+    graph = random_regular_graph(3, 128, seed=3)
+    numbering = consistent_port_numbering(graph)
+    assert benchmark(numbering.is_consistent)

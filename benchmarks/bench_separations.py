@@ -1,0 +1,68 @@
+"""Benchmarks E7/E8/E10 -- the separation experiments (Theorems 11, 13, 17).
+
+Times the two halves of each separation: running the membership algorithm
+adversarially over port numberings, and computing the bisimilarity certificate
+in the weaker class's Kripke encoding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.local_types import LocalTypeSymmetryBreaking
+from repro.algorithms.parity import OddOddNeighboursAlgorithm
+from repro.graphs.covers import symmetric_port_numbering
+from repro.graphs.generators import figure9_graph, odd_odd_gadget_pair, star_graph
+from repro.logic.bisimulation import bisimilarity_partition
+from repro.modal.encoding import KripkeVariant, kripke_encoding
+from repro.problems.separating import (
+    LeafElectionInStars,
+    OddOddNeighbours,
+    SymmetryBreakingInMatchlessRegular,
+)
+from repro.problems.verification import solves
+
+
+def test_theorem11_membership_leaf_election(benchmark):
+    graphs = [star_graph(2), star_graph(3), star_graph(4)]
+    assert benchmark(solves, LeafElectionAlgorithm(), LeafElectionInStars(), graphs)
+
+
+def test_theorem11_impossibility_bisimulation(benchmark):
+    graph = star_graph(6)
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NO_OUTPUT_PORTS)
+    partition = benchmark(bisimilarity_partition, encoding)
+    assert len({partition[leaf] for leaf in range(1, 7)}) == 1
+
+
+def test_theorem13_membership_odd_odd(benchmark):
+    graph = odd_odd_gadget_pair()[0]
+    assert benchmark(solves, OddOddNeighboursAlgorithm(), OddOddNeighbours(), [graph])
+
+
+def test_theorem13_impossibility_bisimulation(benchmark):
+    graph, first, second = odd_odd_gadget_pair()
+    encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    partition = benchmark(bisimilarity_partition, encoding)
+    assert partition[first] == partition[second]
+
+
+def test_theorem17_membership_local_types(benchmark):
+    graph = figure9_graph()
+    assert benchmark(
+        solves,
+        LocalTypeSymmetryBreaking(),
+        SymmetryBreakingInMatchlessRegular(),
+        [graph],
+        consistent_only=True,
+        samples=10,
+    )
+
+
+def test_theorem17_impossibility_bisimulation(benchmark):
+    graph = figure9_graph()
+    numbering = symmetric_port_numbering(graph)
+    encoding = kripke_encoding(graph, numbering, variant=KripkeVariant.FULL)
+    partition = benchmark(bisimilarity_partition, encoding)
+    assert len(set(partition.values())) == 1

@@ -1,0 +1,71 @@
+"""Benchmark E6 -- the history simulations (Theorems 8 and 9).
+
+Sweeps the running time T of the wrapped algorithm and measures the cost of
+the history-carrying simulation; the message volume grows linearly in T
+(quadratically for the whole execution), which is the open "message size
+overhead" question of Section 5.4 made measurable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulations import (
+    simulate_broadcast_with_multiset_broadcast,
+    simulate_vector_with_multiset,
+)
+from repro.execution.runner import run
+from repro.graphs.generators import cycle_graph
+from repro.machines.algorithm import BroadcastAlgorithm, Output, VectorAlgorithm
+
+GRAPH = cycle_graph(60)
+
+
+class VectorCounter(VectorAlgorithm):
+    def __init__(self, rounds: int) -> None:
+        self._rounds = rounds
+
+    def initial_state(self, degree: int):
+        return 0 if self._rounds else Output(0)
+
+    def send(self, state, port):
+        return (state, port)
+
+    def transition(self, state, received):
+        state += 1
+        return Output(state) if state >= self._rounds else state
+
+
+class BroadcastCounter(BroadcastAlgorithm):
+    def __init__(self, rounds: int) -> None:
+        self._rounds = rounds
+
+    def initial_state(self, degree: int):
+        return 0 if self._rounds else Output(0)
+
+    def broadcast(self, state):
+        return state
+
+    def transition(self, state, received):
+        state += 1
+        return Output(state) if state >= self._rounds else state
+
+
+@pytest.mark.parametrize("rounds", [2, 8, 16], ids=lambda r: f"T{r}")
+def test_vector_to_multiset_simulation(benchmark, rounds):
+    simulation = simulate_vector_with_multiset(VectorCounter(rounds))
+    result = benchmark(run, simulation, GRAPH)
+    assert result.rounds <= rounds + 1
+
+
+@pytest.mark.parametrize("rounds", [2, 8, 16], ids=lambda r: f"T{r}")
+def test_broadcast_to_mb_simulation(benchmark, rounds):
+    simulation = simulate_broadcast_with_multiset_broadcast(BroadcastCounter(rounds))
+    result = benchmark(run, simulation, GRAPH)
+    assert result.rounds <= rounds + 1
+
+
+@pytest.mark.parametrize("rounds", [2, 8, 16], ids=lambda r: f"T{r}")
+def test_direct_vector_execution_baseline(benchmark, rounds):
+    result = benchmark(run, VectorCounter(rounds), GRAPH)
+    assert result.rounds == rounds

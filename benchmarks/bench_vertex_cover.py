@@ -1,0 +1,37 @@
+"""Benchmark E11 -- distributed vertex cover (Section 3.3 motivation).
+
+Runs the double-cover-matching vertex cover on bounded-degree graphs of
+increasing size and records the measured approximation ratio against the exact
+optimum (computed only for the smaller instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.vertex_cover import DoubleCoverMatchingVertexCover, cover_from_outputs
+from repro.execution.runner import run
+from repro.graphs.generators import random_bounded_degree_graph
+from repro.graphs.matching import is_vertex_cover, maximum_matching, minimum_vertex_cover
+
+
+@pytest.mark.parametrize("size", [20, 60, 120], ids=lambda n: f"n{n}")
+def test_vertex_cover_algorithm(benchmark, size):
+    graph = random_bounded_degree_graph(size, 3, seed=size)
+    algorithm = DoubleCoverMatchingVertexCover()
+
+    result = benchmark(run, algorithm, graph)
+    cover = cover_from_outputs(result.outputs)
+    assert is_vertex_cover(graph, cover)
+    # The matching lower bound gives a cheap ratio certificate on any size.
+    lower_bound = max(1, len(maximum_matching(graph)))
+    benchmark.extra_info["cover_size"] = len(cover)
+    benchmark.extra_info["matching_lower_bound"] = lower_bound
+    benchmark.extra_info["ratio_upper_bound"] = len(cover) / lower_bound
+    assert len(cover) <= 3 * lower_bound
+
+
+def test_exact_minimum_cover_baseline(benchmark):
+    graph = random_bounded_degree_graph(18, 3, seed=5)
+    cover = benchmark(minimum_vertex_cover, graph)
+    assert is_vertex_cover(graph, cover)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Re-derive the paper's main theorem and print the full experiment report.
+
+The script does three things:
+
+1. prints the trivial containments of Figure 5a and the proven linear order of
+   Figure 5b straight from :mod:`repro.core.hierarchy`;
+2. mechanically re-verifies the classification (simulations for the
+   containments, bisimulation witnesses for the separations) via experiment E3;
+3. runs the complete experiment suite (E1-E12) and prints the
+   paper-vs-measured report that EXPERIMENTS.md is based on.
+
+Run with::
+
+    python examples/hierarchy_survey.py            # E3 only (fast)
+    python examples/hierarchy_survey.py --all      # all twelve experiments
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ProblemClass
+from repro.core.hierarchy import LEVEL_NAMES, distinct_levels, is_contained_in, summary
+from repro.experiments import format_report
+from repro.experiments.registry import run_all_experiments, run_experiment
+
+
+def print_hierarchy() -> None:
+    print("Trivial containments (Figure 5a) vs the proven order (Figure 5b)")
+    print("-" * 68)
+    for smaller in ProblemClass:
+        for larger in ProblemClass:
+            if smaller is larger:
+                continue
+            trivially = larger.trivially_contains(smaller)
+            proven = is_contained_in(smaller, larger)
+            if proven and not trivially:
+                print(f"  {smaller} ⊆ {larger}   (new: only after the paper's collapse results)")
+    print()
+    print("The four distinct levels, weakest first:")
+    for level, name in zip(distinct_levels(), LEVEL_NAMES):
+        print(f"  {' = '.join(str(cls) for cls in level):<14}  {name}")
+    print()
+    print("Linear order:", summary().describe())
+    print()
+
+
+def main() -> None:
+    print_hierarchy()
+
+    if "--all" in sys.argv[1:]:
+        results = run_all_experiments()
+    else:
+        results = [run_experiment("E3")]
+    print(format_report(results))
+
+
+if __name__ == "__main__":
+    main()

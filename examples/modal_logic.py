@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Distributed algorithms as modal formulas and back (Theorem 2, Table 3).
+
+The example walks through the paper's Section 4 correspondence:
+
+* a port-numbered graph becomes a Kripke model (four encodings, one per
+  amount of port information);
+* a modal formula is compiled into a local algorithm of the matching class and
+  the two are shown to agree on every node;
+* a finite-state algorithm is compiled back into a formula whose modal depth
+  equals the running time.
+
+Run with::
+
+    python examples/modal_logic.py
+"""
+
+from __future__ import annotations
+
+from repro import ProblemClass, cycle_graph, run, star_graph
+from repro.graphs.generators import odd_odd_gadget_pair
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import extension
+from repro.logic.syntax import modal_depth
+from repro.machines.state_machine import FiniteStateMachine, algorithm_from_machine
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.correspondence import formula_output
+from repro.modal.encoding import kripke_encoding, variant_for_class
+from repro.modal.formula_to_algorithm import algorithm_for_formula
+from repro.graphs.ports import consistent_port_numbering
+
+
+def formula_to_algorithm_demo() -> None:
+    print("=== formula -> algorithm (Theorem 2, first half) ===")
+    # "I have degree 1 and my neighbour reaches me through its port 1":
+    # the SV(1) leaf-election condition of Theorem 11, written in MML.
+    formula = parse_formula("deg1 & <*,1> true")
+    print("formula:     ", formula)
+    print("modal depth: ", modal_depth(formula))
+
+    algorithm = algorithm_for_formula(formula, ProblemClass.SV)
+    graph = star_graph(3)
+    numbering = consistent_port_numbering(graph)
+
+    outputs = run(algorithm, graph, numbering).outputs
+    truth = formula_output(graph, numbering, formula, ProblemClass.SV)
+    print("algorithm outputs:", outputs)
+    print("formula extension:", truth)
+    print("agree on every node:", outputs == truth)
+    print()
+
+
+def algorithm_to_formula_demo() -> None:
+    print("=== algorithm -> formula (Theorem 2, second half) ===")
+
+    # A one-round MB machine: accept iff the number of odd-degree neighbours is odd.
+    def message(state, port):
+        return "O" if state == "odd" else "E"
+
+    def transition(state, vector):
+        return sum(1 for m in vector if m == "O") % 2
+
+    machine = FiniteStateMachine(
+        delta_bound=3,
+        intermediate_states=frozenset({"even", "odd"}),
+        stopping_states=frozenset({0, 1}),
+        messages=frozenset({"E", "O"}),
+        initial_states={d: ("odd" if d % 2 else "even") for d in range(4)},
+        message_table=message,
+        transition_table=transition,
+    )
+    formula = formula_for_machine(machine, ProblemClass.MB, running_time=1)
+    print("running time of the machine:  1")
+    print("modal depth of the formula:  ", modal_depth(formula))
+
+    graph, first, second = odd_odd_gadget_pair()
+    numbering = consistent_port_numbering(graph)
+    encoding = kripke_encoding(graph, numbering, variant=variant_for_class(ProblemClass.MB))
+    truth = extension(encoding, formula)
+    outputs = run(algorithm_from_machine(machine.as_state_machine()), graph, numbering).outputs
+    agree = all((node in truth) == (outputs[node] == 1) for node in graph.nodes)
+    print("formula and machine agree on the Theorem 13 witness graph:", agree)
+    print(f"the two distinguished nodes get outputs {outputs[first]} and {outputs[second]}")
+    print()
+
+
+def encodings_demo() -> None:
+    print("=== the four Kripke encodings of one port-numbered graph ===")
+    graph = cycle_graph(4)
+    numbering = consistent_port_numbering(graph)
+    for problem_class in (ProblemClass.VV, ProblemClass.SV, ProblemClass.VB, ProblemClass.SB):
+        encoding = kripke_encoding(graph, numbering, variant=variant_for_class(problem_class))
+        print(
+            f"  class {str(problem_class):3}  ->  indices {sorted(encoding.indices, key=repr)}"
+        )
+    print()
+
+
+def main() -> None:
+    formula_to_algorithm_demo()
+    algorithm_to_formula_demo()
+    encodings_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so that editable installs work without network access.
+
+All metadata lives in pyproject.toml; this file only exists because the
+offline environment lacks the ``wheel`` package required by PEP 660 editable
+installs with older setuptools.
+"""
+
+from setuptools import setup
+
+setup()

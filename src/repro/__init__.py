@@ -1,0 +1,119 @@
+"""repro -- an executable reproduction of *Weak Models of Distributed Computing,
+with Connections to Modal Logic* (Hella, Järvisalo, Kuusisto, Laurinharju,
+Lempiäinen, Luosto, Suomela, Virtema; PODC 2012).
+
+The library turns every object of the paper into runnable code:
+
+* anonymous deterministic distributed algorithms in the seven weak models
+  (VVc, VV, MV, SV, VB, MB, SB) and a shared synchronous execution engine
+  (:mod:`repro.machines`, :mod:`repro.execution`);
+* graphs, port numberings, covers and matchings (:mod:`repro.graphs`);
+* the modal logics ML/GML/MML/GMML, Kripke encodings of port-numbered graphs,
+  a model checker and (graded) bisimulation (:mod:`repro.logic`,
+  :mod:`repro.modal`);
+* the paper's main results as executable constructions and checkable
+  certificates: the simulation theorems, the separation witnesses and the
+  resulting linear order (:mod:`repro.core`, :mod:`repro.separations`);
+* graph problems, concrete algorithms and an experiment harness regenerating
+  every figure/theorem of the paper (:mod:`repro.problems`,
+  :mod:`repro.algorithms`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        cycle_graph, consistent_port_numbering, run,
+        MultisetBroadcastAlgorithm, Output,
+    )
+
+    class CountNeighbours(MultisetBroadcastAlgorithm):
+        def initial_state(self, degree):
+            return degree
+        def broadcast(self, state):
+            return "hello"
+        def transition(self, state, received):
+            return Output(len(received))
+
+    result = run(CountNeighbours(), cycle_graph(5))
+    print(result.outputs)   # every node counted its two neighbours
+"""
+
+from repro.graphs import (
+    Graph,
+    PortNumbering,
+    all_port_numberings,
+    complete_graph,
+    consistent_port_numbering,
+    cycle_graph,
+    figure9_graph,
+    path_graph,
+    random_port_numbering,
+    star_graph,
+    symmetric_port_numbering,
+)
+from repro.machines import (
+    Algorithm,
+    BroadcastAlgorithm,
+    FrozenMultiset,
+    Model,
+    MultisetAlgorithm,
+    MultisetBroadcastAlgorithm,
+    ProblemClass,
+    ReceiveMode,
+    SendMode,
+    SetAlgorithm,
+    SetBroadcastAlgorithm,
+    VectorAlgorithm,
+)
+from repro.machines.algorithm import Output
+from repro.execution import ExecutionResult, run
+from repro.logic import KripkeModel, extension, parse_formula, satisfies
+from repro.modal import algorithm_for_formula, formula_for_machine, kripke_encoding
+from repro.core import (
+    simulate_broadcast_with_multiset_broadcast,
+    simulate_multiset_with_set,
+    simulate_vector_with_multiset,
+    summary,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "PortNumbering",
+    "all_port_numberings",
+    "complete_graph",
+    "consistent_port_numbering",
+    "cycle_graph",
+    "figure9_graph",
+    "path_graph",
+    "random_port_numbering",
+    "star_graph",
+    "symmetric_port_numbering",
+    "Algorithm",
+    "BroadcastAlgorithm",
+    "FrozenMultiset",
+    "Model",
+    "MultisetAlgorithm",
+    "MultisetBroadcastAlgorithm",
+    "ProblemClass",
+    "ReceiveMode",
+    "SendMode",
+    "SetAlgorithm",
+    "SetBroadcastAlgorithm",
+    "VectorAlgorithm",
+    "Output",
+    "ExecutionResult",
+    "run",
+    "KripkeModel",
+    "extension",
+    "parse_formula",
+    "satisfies",
+    "algorithm_for_formula",
+    "formula_for_machine",
+    "kripke_encoding",
+    "simulate_broadcast_with_multiset_broadcast",
+    "simulate_multiset_with_set",
+    "simulate_vector_with_multiset",
+    "summary",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Small building-block algorithms.
+
+These algorithms exist mainly to exercise the execution engine and the
+simulation constructions: they span all combinations of receive/send modes,
+terminate in a known number of rounds, and have easily predictable outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machines.algorithm import (
+    BroadcastAlgorithm,
+    MultisetAlgorithm,
+    MultisetBroadcastAlgorithm,
+    Output,
+    SetBroadcastAlgorithm,
+    VectorAlgorithm,
+)
+from repro.machines.multiset import FrozenMultiset
+
+
+class ConstantAlgorithm(SetBroadcastAlgorithm):
+    """Every node halts immediately with a fixed output (runs in 0 rounds)."""
+
+    def __init__(self, value: Any = 0) -> None:
+        self._value = value
+
+    def initial_state(self, degree: int) -> Any:
+        return Output(self._value)
+
+    def broadcast(self, state: Any) -> Any:  # pragma: no cover - never called
+        raise AssertionError("a halted algorithm never sends")
+
+    def transition(self, state: Any, received: Any) -> Any:  # pragma: no cover
+        raise AssertionError("a halted algorithm never transitions")
+
+
+class DegreeAlgorithm(SetBroadcastAlgorithm):
+    """Every node outputs its own degree (0 rounds; degree is part of the input)."""
+
+    def initial_state(self, degree: int) -> Any:
+        return Output(degree)
+
+    def broadcast(self, state: Any) -> Any:  # pragma: no cover - never called
+        raise AssertionError("a halted algorithm never sends")
+
+    def transition(self, state: Any, received: Any) -> Any:  # pragma: no cover
+        raise AssertionError("a halted algorithm never transitions")
+
+
+class RoundCounterAlgorithm(MultisetBroadcastAlgorithm):
+    """Run for a fixed number of rounds, then output that number.
+
+    Used to test round accounting and the locality of simulations.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self._rounds = rounds
+
+    def initial_state(self, degree: int) -> Any:
+        if self._rounds == 0:
+            return Output(0)
+        return 0
+
+    def broadcast(self, state: Any) -> Any:
+        return "tick"
+
+    def transition(self, state: Any, received: FrozenMultiset) -> Any:
+        elapsed = state + 1
+        if elapsed >= self._rounds:
+            return Output(elapsed)
+        return elapsed
+
+
+class NeighbourDegreeSumAlgorithm(MultisetBroadcastAlgorithm):
+    """Each node outputs the sum of its neighbours' degrees (1 round, MB model)."""
+
+    def initial_state(self, degree: int) -> Any:
+        return degree
+
+    def broadcast(self, state: Any) -> Any:
+        return state
+
+    def transition(self, state: Any, received: FrozenMultiset) -> Any:
+        return Output(sum(received))
+
+
+class GatherDegreesAlgorithm(MultisetAlgorithm):
+    """Each node outputs the multiset of its neighbours' degrees (1 round, MV model).
+
+    The output is reported as a sorted tuple so that it is hashable and easy
+    to compare in tests.
+    """
+
+    def initial_state(self, degree: int) -> Any:
+        return degree
+
+    def send(self, state: Any, port: int) -> Any:
+        return state
+
+    def transition(self, state: Any, received: FrozenMultiset) -> Any:
+        return Output(tuple(sorted(received)))
+
+
+class PortEchoAlgorithm(VectorAlgorithm):
+    """Each node outputs the vector of port numbers its neighbours used towards it.
+
+    In round 1 every node sends ``i`` to its output port ``i``; the output of a
+    node is the tuple of received values in input-port order.  Under a
+    consistent port numbering this is exactly the local type ``t(v)`` of
+    Theorem 17 (restricted to the node's degree).
+    """
+
+    def initial_state(self, degree: int) -> Any:
+        return "start"
+
+    def send(self, state: Any, port: int) -> Any:
+        return port
+
+    def transition(self, state: Any, received: tuple) -> Any:
+        return Output(tuple(received))
+
+
+class BroadcastMinimumDegreeAlgorithm(BroadcastAlgorithm):
+    """Each node outputs the minimum degree in its closed neighbourhood (VB model)."""
+
+    def initial_state(self, degree: int) -> Any:
+        return degree
+
+    def broadcast(self, state: Any) -> Any:
+        return state
+
+    def transition(self, state: Any, received: tuple) -> Any:
+        return Output(min((state, *received)))

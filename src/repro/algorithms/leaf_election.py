@@ -1,0 +1,32 @@
+"""Leaf election in stars (Theorem 11): an SV(1) algorithm.
+
+In round 1 every node sends the port number ``i`` through its output port
+``i``.  A node outputs 1 exactly when it has degree 1 and the *set* of
+messages it received is ``{1}`` -- i.e. its unique neighbour reaches it through
+that neighbour's output port 1.  In a ``k``-star the centre has ``k`` distinct
+output ports, so exactly one leaf receives the message ``1``; the centre
+itself receives the set ``{1}`` but has degree ``k > 1`` and outputs 0.
+The algorithm never inspects input-port numbers, so it lies in the class Set,
+whereas Theorem 11 shows no Broadcast algorithm can solve the problem.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machines.algorithm import Output, SetAlgorithm
+
+
+class LeafElectionAlgorithm(SetAlgorithm):
+    """The SV(1) leaf-election algorithm of Theorem 11 (one communication round)."""
+
+    def initial_state(self, degree: int) -> Any:
+        return degree
+
+    def send(self, state: Any, port: int) -> Any:
+        return port
+
+    def transition(self, state: Any, received: frozenset) -> Any:
+        degree = state
+        elected = degree == 1 and received == frozenset({1})
+        return Output(1 if elected else 0)

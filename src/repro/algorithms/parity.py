@@ -1,0 +1,47 @@
+"""Parity algorithms (Theorem 13 and companions).
+
+:class:`OddOddNeighboursAlgorithm` is the paper's MB(1) witness: each node
+broadcasts the parity of its degree, counts how many "odd" messages it
+receives and outputs that count modulo 2.  Counting is essential -- the same
+problem is *not* solvable in SB (Theorem 13), because set-reception collapses
+multiplicities.  :class:`SomeOddNeighbourAlgorithm` is the natural SB(1)
+relaxation ("is there at least one odd-degree neighbour?"), which *is*
+solvable without counting.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machines.algorithm import MultisetBroadcastAlgorithm, Output, SetBroadcastAlgorithm
+from repro.machines.multiset import FrozenMultiset
+
+ODD = "odd"
+EVEN = "even"
+
+
+class OddOddNeighboursAlgorithm(MultisetBroadcastAlgorithm):
+    """Output 1 iff the node has an odd number of odd-degree neighbours (MB(1))."""
+
+    def initial_state(self, degree: int) -> Any:
+        return ODD if degree % 2 == 1 else EVEN
+
+    def broadcast(self, state: Any) -> Any:
+        return state
+
+    def transition(self, state: Any, received: FrozenMultiset) -> Any:
+        odd_count = received.count(ODD)
+        return Output(odd_count % 2)
+
+
+class SomeOddNeighbourAlgorithm(SetBroadcastAlgorithm):
+    """Output 1 iff the node has at least one odd-degree neighbour (SB(1))."""
+
+    def initial_state(self, degree: int) -> Any:
+        return ODD if degree % 2 == 1 else EVEN
+
+    def broadcast(self, state: Any) -> Any:
+        return state
+
+    def transition(self, state: Any, received: frozenset) -> Any:
+        return Output(1 if ODD in received else 0)

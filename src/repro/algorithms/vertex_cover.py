@@ -1,0 +1,126 @@
+"""Vertex cover via maximal matching of the bipartite double cover.
+
+Section 3.3 motivates the weak models with the vertex-cover problem: a
+2-approximation is known even in MB(1) [AstrandSuomela2010].  We implement the
+simpler classical construction in the port-numbering model (class VVc): every
+node hosts a "white" copy ``(v, 1)`` and a "black" copy ``(v, 2)`` of itself
+in the bipartite double cover; white copies propose along their ports in
+increasing order, black copies accept the first proposal they see, and a node
+joins the cover when either of its copies is matched.  The matching computed
+on the double cover is maximal, so the output is always a vertex cover; its
+approximation ratio is *measured* (experiment E11), not asserted.
+
+The reply step sends the acceptance back through the same-numbered port, which
+reaches the proposer only under a consistent port numbering -- the algorithm
+is therefore a VVc algorithm, running in at most ``2 * Delta + 2`` rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.machines.algorithm import NO_MESSAGE, Output, VectorAlgorithm
+
+_PROPOSE = "propose"
+_RESPOND = "respond"
+
+
+@dataclass(frozen=True)
+class _CoverState:
+    stage: str
+    degree: int
+    white_matched: bool = False
+    black_matched: bool = False
+    white_next_port: int = 1
+    white_proposal_port: int | None = None
+    black_accepted_port: int | None = None
+
+    @property
+    def white_done(self) -> bool:
+        return self.white_matched or self.white_next_port > self.degree
+
+
+class DoubleCoverMatchingVertexCover(VectorAlgorithm):
+    """Vertex cover from a maximal matching of the bipartite double cover (VVc)."""
+
+    def initial_state(self, degree: int) -> Any:
+        if degree == 0:
+            return Output(0)
+        return _CoverState(stage=_PROPOSE, degree=degree)
+
+    # ------------------------------------------------------------------ #
+    # Messages
+    # ------------------------------------------------------------------ #
+
+    def send(self, state: _CoverState, port: int) -> Any:
+        if state.stage == _PROPOSE:
+            proposing = (
+                not state.white_matched
+                and state.white_next_port == port
+                and port <= state.degree
+            )
+            return (_PROPOSE, proposing, state.white_done)
+        accepting = state.black_accepted_port == port
+        return (_RESPOND, accepting, state.white_done)
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+
+    def transition(self, state: _CoverState, received: tuple) -> Any:
+        if state.stage == _PROPOSE:
+            return self._after_propose_round(state, received)
+        return self._after_respond_round(state, received)
+
+    def _after_propose_round(self, state: _CoverState, received: tuple) -> Any:
+        proposal_port = None
+        if not state.white_matched and state.white_next_port <= state.degree:
+            proposal_port = state.white_next_port
+        accepted = state.black_accepted_port
+        if not state.black_matched:
+            incoming = [
+                port
+                for port, message in enumerate(received, start=1)
+                if isinstance(message, tuple) and message[0] == _PROPOSE and message[1]
+            ]
+            if incoming:
+                accepted = min(incoming)
+        return replace(
+            state,
+            stage=_RESPOND,
+            black_matched=state.black_matched or accepted is not None,
+            black_accepted_port=accepted,
+            white_proposal_port=proposal_port,
+        )
+
+    def _after_respond_round(self, state: _CoverState, received: tuple) -> Any:
+        white_matched = state.white_matched
+        white_next_port = state.white_next_port
+        if state.white_proposal_port is not None:
+            answer = received[state.white_proposal_port - 1]
+            if isinstance(answer, tuple) and answer[0] == _RESPOND and answer[1]:
+                white_matched = True
+            else:
+                white_next_port += 1
+        new_state = replace(
+            state,
+            stage=_PROPOSE,
+            white_matched=white_matched,
+            white_next_port=white_next_port,
+            white_proposal_port=None,
+            black_accepted_port=None,
+        )
+        neighbours_done = all(
+            message == NO_MESSAGE or (isinstance(message, tuple) and message[2])
+            for message in received
+        )
+        if new_state.white_done and neighbours_done:
+            in_cover = new_state.white_matched or new_state.black_matched
+            return Output(1 if in_cover else 0)
+        return new_state
+
+
+def cover_from_outputs(outputs: dict[Any, int]) -> frozenset[Any]:
+    """The vertex set selected by the algorithm's 0/1 outputs."""
+    return frozenset(node for node, value in outputs.items() if value == 1)

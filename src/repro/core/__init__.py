@@ -1,0 +1,66 @@
+"""The paper's primary contribution: simulations, separations and the hierarchy.
+
+* :mod:`~repro.core.hierarchy` -- the seven problem classes, the trivial
+  partial order of Figure 5a and the proven linear order of Figure 5b.
+* :mod:`~repro.core.simulations` -- the executable simulation constructions of
+  Theorems 4, 8 and 9 (the containment half of the classification).
+* :mod:`~repro.core.classification` -- evidence objects that replay the whole
+  argument (containments by simulation, separations by bisimulation) on
+  concrete graphs.
+"""
+
+from repro.core.hierarchy import (
+    LEVEL_NAMES,
+    LINEAR_ORDER,
+    PROVEN_EQUALITIES,
+    PROVEN_SEPARATIONS,
+    HierarchySummary,
+    are_equal,
+    collapse,
+    distinct_levels,
+    is_contained_in,
+    is_strictly_contained_in,
+    level_of,
+    separation_between,
+    summary,
+    trivially_contained_in,
+)
+from repro.core.classification import (
+    ClassificationReport,
+    ContainmentEvidence,
+    SeparationEvidence,
+)
+from repro.core.simulations import (
+    MultisetBroadcastSimulationOfBroadcast,
+    MultisetSimulationOfVector,
+    SetSimulationOfMultiset,
+    simulate_broadcast_with_multiset_broadcast,
+    simulate_multiset_with_set,
+    simulate_vector_with_multiset,
+)
+
+__all__ = [
+    "LEVEL_NAMES",
+    "LINEAR_ORDER",
+    "PROVEN_EQUALITIES",
+    "PROVEN_SEPARATIONS",
+    "HierarchySummary",
+    "are_equal",
+    "collapse",
+    "distinct_levels",
+    "is_contained_in",
+    "is_strictly_contained_in",
+    "level_of",
+    "separation_between",
+    "summary",
+    "trivially_contained_in",
+    "ClassificationReport",
+    "ContainmentEvidence",
+    "SeparationEvidence",
+    "MultisetBroadcastSimulationOfBroadcast",
+    "MultisetSimulationOfVector",
+    "SetSimulationOfMultiset",
+    "simulate_broadcast_with_multiset_broadcast",
+    "simulate_multiset_with_set",
+    "simulate_vector_with_multiset",
+]

@@ -1,0 +1,130 @@
+"""The hierarchy of problem classes and the paper's main classification result.
+
+Figure 5a shows the containments that follow trivially from the definitions;
+the paper's main theorem (results (1) and (2) of Section 2) collapses the
+seven classes into a linear order of four distinct levels::
+
+    SB  ⊊  MB = VB  ⊊  SV = MV = VV  ⊊  VVc
+
+and identically for the constant-time versions.  This module encodes both the
+trivial partial order and the proven linear order, and offers query helpers
+(`is_contained_in`, `are_equal`, `collapse`, `distinct_levels`) that the
+experiments and the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.models import ProblemClass
+
+#: The four levels of the proven linear order, weakest first (Figure 5b).
+LINEAR_ORDER: tuple[tuple[ProblemClass, ...], ...] = (
+    (ProblemClass.SB,),
+    (ProblemClass.MB, ProblemClass.VB),
+    (ProblemClass.SV, ProblemClass.MV, ProblemClass.VV),
+    (ProblemClass.VVC,),
+)
+
+#: Human-readable names of the four levels.
+LEVEL_NAMES: tuple[str, ...] = (
+    "neither incoming nor outgoing port numbers (SB)",
+    "no outgoing port numbers (MB = VB)",
+    "no incoming port numbers (SV = MV = VV)",
+    "consistent port numbering (VVc)",
+)
+
+#: The equalities proved in Section 5 (Corollaries 7 and 10).
+PROVEN_EQUALITIES: tuple[frozenset[ProblemClass], ...] = (
+    frozenset({ProblemClass.MB, ProblemClass.VB}),
+    frozenset({ProblemClass.SV, ProblemClass.MV, ProblemClass.VV}),
+)
+
+#: The strict separations proved in Section 5.3, as (smaller, larger) pairs
+#: together with the theorem establishing them.
+PROVEN_SEPARATIONS: tuple[tuple[ProblemClass, ProblemClass, str], ...] = (
+    (ProblemClass.SB, ProblemClass.MB, "Theorem 13 (odd number of odd-degree neighbours)"),
+    (ProblemClass.VB, ProblemClass.SV, "Theorem 11 (leaf election in a star)"),
+    (ProblemClass.VV, ProblemClass.VVC, "Theorem 17 (symmetry breaking in matchless regular graphs)"),
+)
+
+
+def level_of(problem_class: ProblemClass) -> int:
+    """The index (0 = weakest) of the class's level in the linear order."""
+    for index, level in enumerate(LINEAR_ORDER):
+        if problem_class in level:
+            return index
+    raise ValueError(f"unknown problem class {problem_class!r}")
+
+
+def trivially_contained_in(smaller: ProblemClass, larger: ProblemClass) -> bool:
+    """The partial order of Figure 5a (definition-level containments only)."""
+    return larger.trivially_contains(smaller)
+
+
+def is_contained_in(smaller: ProblemClass, larger: ProblemClass) -> bool:
+    """Whether ``smaller ⊆ larger`` according to the paper's main theorem."""
+    return level_of(smaller) <= level_of(larger)
+
+
+def are_equal(first: ProblemClass, second: ProblemClass) -> bool:
+    """Whether the two classes coincide according to the main theorem."""
+    return level_of(first) == level_of(second)
+
+
+def is_strictly_contained_in(smaller: ProblemClass, larger: ProblemClass) -> bool:
+    """Whether ``smaller ⊊ larger`` according to the main theorem."""
+    return level_of(smaller) < level_of(larger)
+
+
+def collapse(problem_class: ProblemClass) -> ProblemClass:
+    """A canonical representative of the class's level (SB, VB, SV or VVc)."""
+    representatives = (ProblemClass.SB, ProblemClass.VB, ProblemClass.SV, ProblemClass.VVC)
+    return representatives[level_of(problem_class)]
+
+
+def distinct_levels() -> tuple[tuple[ProblemClass, ...], ...]:
+    """The four distinct levels, weakest first."""
+    return LINEAR_ORDER
+
+
+def separation_between(smaller: ProblemClass, larger: ProblemClass) -> str | None:
+    """The theorem separating the levels of the two classes, if they differ.
+
+    When the classes sit on adjacent levels this is the exact separating
+    theorem; for classes further apart the theorem separating the two lowest
+    levels in between is reported.
+    """
+    low, high = sorted((level_of(smaller), level_of(larger)))
+    if low == high:
+        return None
+    _, _, description = PROVEN_SEPARATIONS[low]
+    return description
+
+
+@dataclass(frozen=True)
+class HierarchySummary:
+    """A machine-checkable summary of the classification (used by experiment E3)."""
+
+    levels: tuple[tuple[ProblemClass, ...], ...]
+    equalities: tuple[frozenset[ProblemClass], ...]
+    separations: tuple[tuple[ProblemClass, ProblemClass, str], ...]
+
+    def number_of_distinct_classes(self) -> int:
+        return len(self.levels)
+
+    def describe(self) -> str:
+        """The linear order in the notation of the paper's abstract."""
+        parts = []
+        for level in self.levels:
+            parts.append(" = ".join(str(cls) for cls in level))
+        return "  ⊊  ".join(parts)
+
+
+def summary() -> HierarchySummary:
+    """The paper's classification as a :class:`HierarchySummary`."""
+    return HierarchySummary(
+        levels=LINEAR_ORDER,
+        equalities=PROVEN_EQUALITIES,
+        separations=PROVEN_SEPARATIONS,
+    )

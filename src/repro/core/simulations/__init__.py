@@ -1,0 +1,34 @@
+"""Executable simulation constructions (Theorems 4, 8 and 9).
+
+These wrappers establish the containment half of the paper's classification:
+
+* :func:`~repro.core.simulations.multiset_to_set.simulate_multiset_with_set`
+  -- Theorem 4, MV ⊆ SV (and MV(1) ⊆ SV(1)); overhead ``O(Delta)`` rounds.
+* :func:`~repro.core.simulations.vector_to_multiset.
+  simulate_vector_with_multiset` -- Theorem 8, VV ⊆ MV; no round overhead but
+  messages grow with the round number.
+* :func:`~repro.core.simulations.broadcast_to_mb.
+  simulate_broadcast_with_multiset_broadcast` -- Theorem 9, VB ⊆ MB.
+"""
+
+from repro.core.simulations.multiset_to_set import (
+    SetSimulationOfMultiset,
+    simulate_multiset_with_set,
+)
+from repro.core.simulations.vector_to_multiset import (
+    MultisetSimulationOfVector,
+    simulate_vector_with_multiset,
+)
+from repro.core.simulations.broadcast_to_mb import (
+    MultisetBroadcastSimulationOfBroadcast,
+    simulate_broadcast_with_multiset_broadcast,
+)
+
+__all__ = [
+    "SetSimulationOfMultiset",
+    "simulate_multiset_with_set",
+    "MultisetSimulationOfVector",
+    "simulate_vector_with_multiset",
+    "MultisetBroadcastSimulationOfBroadcast",
+    "simulate_broadcast_with_multiset_broadcast",
+]

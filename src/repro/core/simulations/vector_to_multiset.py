@@ -1,0 +1,99 @@
+"""Theorem 8: every Vector algorithm can be simulated by a Multiset algorithm.
+
+The simulating algorithm augments every outgoing message with the *full
+history* of messages sent through that output port.  A receiving node sorts
+the received histories lexicographically and feeds the simulated algorithm the
+message vector in that order.  Because histories only ever grow, the sorted
+order is stable over time, so the reconstructed execution coincides with the
+execution of the original algorithm under a port numbering that has the same
+*output*-port assignment as the real one but whose *input* ports are numbered
+in history order -- i.e. a member of the family ``P_T`` of the paper's proof.
+The original algorithm must produce a valid output under *every* port
+numbering, hence the simulation's output is valid as well (it need not be
+byte-identical to the run under the original numbering).
+
+The round overhead is at most one extra round (the wrapper halts once its own
+simulated node and all neighbouring simulated nodes have halted); the paper
+states the simulation runs in the same time ``T``.  The price is message size:
+messages grow linearly with the round number, which experiment E6 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.machines.algorithm import NO_MESSAGE, Algorithm, MultisetAlgorithm, Output
+from repro.machines.models import ReceiveMode, SendMode
+from repro.machines.multiset import FrozenMultiset
+from repro.utils.ordering import canonical_key
+
+
+@dataclass(frozen=True)
+class _WrapperState:
+    inner: Any
+    histories: tuple[tuple[Any, ...], ...]
+    degree: int
+
+
+class MultisetSimulationOfVector(MultisetAlgorithm):
+    """The Multiset algorithm ``B_Delta`` simulating a Vector algorithm ``A_Delta``."""
+
+    def __init__(self, inner: Algorithm) -> None:
+        if inner.model.receive is not ReceiveMode.VECTOR:
+            raise ValueError("MultisetSimulationOfVector expects a Vector-receive algorithm")
+        if inner.model.send is not SendMode.PORT:
+            raise ValueError("MultisetSimulationOfVector expects a port-addressed algorithm")
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        return f"MultisetSimulationOfVector({self._inner.name})"
+
+    @property
+    def inner(self) -> Algorithm:
+        return self._inner
+
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, degree: int) -> Any:
+        inner_state = self._inner.initial_state(degree)
+        if self._inner.is_stopping(inner_state) and degree == 0:
+            return Output(self._inner.output(inner_state))
+        return _WrapperState(
+            inner=inner_state, histories=tuple(() for _ in range(degree)), degree=degree
+        )
+
+    def _current_message(self, state: _WrapperState, port: int) -> Any:
+        if self._inner.is_stopping(state.inner):
+            return NO_MESSAGE
+        return self._inner.send(state.inner, port)
+
+    def send(self, state: Any, port: int) -> Any:
+        history = state.histories[port - 1]
+        return history + (self._current_message(state, port),)
+
+    def transition(self, state: Any, received: FrozenMultiset) -> Any:
+        new_histories = tuple(
+            state.histories[port - 1] + (self._current_message(state, port),)
+            for port in range(1, state.degree + 1)
+        )
+        if self._inner.is_stopping(state.inner):
+            neighbours_done = all(
+                message == NO_MESSAGE or (isinstance(message, tuple) and message[-1] == NO_MESSAGE)
+                for message in received
+            )
+            if neighbours_done:
+                return Output(self._inner.output(state.inner))
+            return _WrapperState(inner=state.inner, histories=new_histories, degree=state.degree)
+        # Reconstruct the message vector: order the received histories
+        # lexicographically and read off their latest entries.
+        histories = sorted(received, key=canonical_key)
+        vector = tuple(history[-1] for history in histories)
+        inner_next = self._inner.transition(state.inner, vector)
+        return _WrapperState(inner=inner_next, histories=new_histories, degree=state.degree)
+
+
+def simulate_vector_with_multiset(inner: Algorithm) -> MultisetSimulationOfVector:
+    """Convenience constructor for :class:`MultisetSimulationOfVector` (Theorem 8)."""
+    return MultisetSimulationOfVector(inner)

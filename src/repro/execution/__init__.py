@@ -1,0 +1,26 @@
+"""Synchronous execution of distributed algorithms on port-numbered graphs.
+
+* :mod:`~repro.execution.runner` -- the execution engine (Section 1.3): state
+  vectors, synchronous rounds, stopping detection.
+* :mod:`~repro.execution.trace` -- execution traces and message-size
+  accounting used by the simulation-overhead experiments.
+* :mod:`~repro.execution.adversary` -- adversarial execution over all (or
+  sampled) port numberings of a graph.
+"""
+
+from repro.execution.runner import ExecutionError, ExecutionResult, run
+from repro.execution.trace import Trace, message_size
+from repro.execution.adversary import (
+    outputs_over_port_numberings,
+    port_numberings_to_check,
+)
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionResult",
+    "run",
+    "Trace",
+    "message_size",
+    "outputs_over_port_numberings",
+    "port_numberings_to_check",
+]

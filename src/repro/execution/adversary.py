@@ -1,0 +1,95 @@
+"""Adversarial execution over port numberings.
+
+An algorithm *solves* a graph problem only if its output is valid for *every*
+port numbering of the input graph (Section 1.4) -- the port numbering is
+chosen by an adversary.  For small witness graphs the adversary can be
+exhausted; for larger graphs it is sampled.  This module produces the set of
+port numberings to check and collects the outputs an algorithm produces over
+them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Any
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.ports import (
+    PortNumbering,
+    all_port_numberings,
+    consistent_port_numbering,
+    count_port_numberings,
+    random_port_numbering,
+)
+from repro.machines.algorithm import Algorithm
+from repro.execution.runner import DEFAULT_MAX_ROUNDS, ExecutionResult, run
+
+#: If a graph has at most this many port numberings, enumerate them all.
+DEFAULT_EXHAUSTIVE_LIMIT = 2_000
+
+
+def port_numberings_to_check(
+    graph: Graph,
+    consistent_only: bool = False,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    samples: int = 50,
+    seed: int = 0,
+) -> Iterator[PortNumbering]:
+    """Port numberings an adversarial check should cover.
+
+    If the total number of port numberings of ``graph`` does not exceed
+    ``exhaustive_limit``, every port numbering is produced; otherwise the
+    canonical consistent numbering plus ``samples`` pseudo-random numberings
+    (seeded, hence reproducible) are produced.
+    """
+    total = count_port_numberings(graph, consistent_only=consistent_only)
+    if total <= exhaustive_limit:
+        yield from all_port_numberings(graph, consistent_only=consistent_only)
+        return
+    yield consistent_port_numbering(graph)
+    rng = random.Random(seed)
+    for _ in range(samples):
+        yield random_port_numbering(graph, rng=rng, consistent=consistent_only)
+
+
+def outputs_over_port_numberings(
+    algorithm: Algorithm,
+    graph: Graph,
+    consistent_only: bool = False,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    samples: int = 50,
+    seed: int = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> list[tuple[PortNumbering, ExecutionResult]]:
+    """Run ``algorithm`` on ``graph`` under every adversarial port numbering.
+
+    Returns the list of ``(numbering, result)`` pairs, one per numbering
+    produced by :func:`port_numberings_to_check`.
+    """
+    results = []
+    for numbering in port_numberings_to_check(
+        graph,
+        consistent_only=consistent_only,
+        exhaustive_limit=exhaustive_limit,
+        samples=samples,
+        seed=seed,
+    ):
+        result = run(algorithm, graph, numbering, max_rounds=max_rounds)
+        results.append((numbering, result))
+    return results
+
+
+def distinct_outputs(
+    algorithm: Algorithm,
+    graph: Graph,
+    consistent_only: bool = False,
+    **kwargs: Any,
+) -> set[tuple[tuple[Node, Any], ...]]:
+    """The set of distinct output assignments the adversary can force."""
+    outcomes = set()
+    for _numbering, result in outputs_over_port_numberings(
+        algorithm, graph, consistent_only=consistent_only, **kwargs
+    ):
+        outcomes.add(tuple(sorted(result.outputs.items(), key=lambda item: repr(item[0]))))
+    return outcomes

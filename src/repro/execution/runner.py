@@ -1,0 +1,163 @@
+"""The synchronous execution engine (Section 1.3).
+
+Given an algorithm ``A``, a graph ``G`` and a port numbering ``p``, the
+execution proceeds in synchronous rounds: every node sends a message through
+each of its output ports, receives one message through each of its input
+ports, and updates its state.  Which *view* of the received messages the
+algorithm sees (vector / multiset / set) and whether it may address output
+ports individually is determined by the algorithm's model -- the engine itself
+is shared by all seven classes, mirroring the way the paper compares them on
+identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.ports import PortNumbering, consistent_port_numbering
+from repro.machines.algorithm import NO_MESSAGE, Algorithm
+from repro.machines.models import SendMode
+from repro.execution.trace import Trace
+
+#: Default bound on the number of rounds before the runner gives up.
+DEFAULT_MAX_ROUNDS = 10_000
+
+
+class ExecutionError(RuntimeError):
+    """Raised when an execution does not halt within the round budget."""
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running an algorithm on ``(G, p)``.
+
+    Attributes
+    ----------
+    outputs:
+        The local output ``S(v)`` of every node (defined only if ``halted``).
+    rounds:
+        The time ``T`` at which the last node stopped.
+    halted:
+        Whether every node reached a stopping state within the round budget.
+    trace:
+        The full execution trace, if recording was requested.
+    """
+
+    outputs: dict[Node, Any]
+    rounds: int
+    halted: bool
+    trace: Trace | None = None
+
+    def output_vector(self) -> dict[Node, Any]:
+        """Alias for :attr:`outputs` (the solution ``S`` of Section 1.4)."""
+        return self.outputs
+
+
+def run(
+    algorithm: Algorithm,
+    graph: Graph,
+    numbering: PortNumbering | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_trace: bool = False,
+    require_halt: bool = True,
+    inputs: dict[Node, Any] | None = None,
+) -> ExecutionResult:
+    """Execute ``algorithm`` on ``(graph, numbering)`` until every node stops.
+
+    Parameters
+    ----------
+    algorithm:
+        The distributed algorithm; its :attr:`~repro.machines.algorithm.
+        Algorithm.model` determines how messages are constructed and
+        presented.
+    graph:
+        The input graph.
+    numbering:
+        The port numbering; defaults to the canonical consistent numbering.
+    max_rounds:
+        Upper bound on the number of communication rounds.
+    record_trace:
+        Whether to record a full :class:`~repro.execution.trace.Trace`.
+    require_halt:
+        If ``True`` (default), raise :class:`ExecutionError` when the bound is
+        exceeded; otherwise return a result with ``halted=False``.
+    inputs:
+        Optional local inputs ``f(u)`` (Section 3.4, labelled graphs).  When
+        given, the initial state of node ``u`` is
+        ``algorithm.initial_state_with_input(deg(u), inputs.get(u))``.
+    """
+    if numbering is None:
+        numbering = consistent_port_numbering(graph)
+    elif numbering.graph != graph:
+        raise ValueError("the port numbering belongs to a different graph")
+
+    broadcast = algorithm.model.send is SendMode.BROADCAST
+    if inputs is None:
+        states: dict[Node, Any] = {
+            node: algorithm.initial_state(graph.degree(node)) for node in graph.nodes
+        }
+    else:
+        states = {
+            node: algorithm.initial_state_with_input(graph.degree(node), inputs.get(node))
+            for node in graph.nodes
+        }
+    trace = Trace() if record_trace else None
+    if trace is not None:
+        trace.state_history.append(dict(states))
+        trace.received_messages.append({})
+
+    rounds = 0
+    while not all(algorithm.is_stopping(states[node]) for node in graph.nodes):
+        if rounds >= max_rounds:
+            if require_halt:
+                raise ExecutionError(
+                    f"{algorithm.name} did not halt on {graph!r} within {max_rounds} rounds"
+                )
+            return ExecutionResult(outputs={}, rounds=rounds, halted=False, trace=trace)
+        rounds += 1
+
+        # Message construction: what each node emits through each output port.
+        outgoing: dict[tuple[Node, int], Any] = {}
+        for node in graph.nodes:
+            state = states[node]
+            degree = graph.degree(node)
+            if algorithm.is_stopping(state):
+                for port in range(1, degree + 1):
+                    outgoing[(node, port)] = NO_MESSAGE
+            elif broadcast:
+                message = algorithm.broadcast(state)
+                for port in range(1, degree + 1):
+                    outgoing[(node, port)] = message
+            else:
+                for port in range(1, degree + 1):
+                    outgoing[(node, port)] = algorithm.send(state, port)
+
+        # Message delivery: input port (u, i) receives from p^{-1}((u, i)).
+        received: dict[tuple[Node, int], Any] = {}
+        for node in graph.nodes:
+            for in_port in range(1, graph.degree(node) + 1):
+                source, out_port = numbering.inverse(node, in_port)
+                received[(node, in_port)] = outgoing[(source, out_port)]
+
+        # State transition on the model-specific projection of the received vector.
+        new_states: dict[Node, Any] = {}
+        for node in graph.nodes:
+            state = states[node]
+            if algorithm.is_stopping(state):
+                new_states[node] = state
+                continue
+            vector = tuple(
+                received[(node, in_port)] for in_port in range(1, graph.degree(node) + 1)
+            )
+            projected = algorithm.model.receive.project(vector)
+            new_states[node] = algorithm.transition(state, projected)
+        states = new_states
+
+        if trace is not None:
+            trace.state_history.append(dict(states))
+            trace.received_messages.append(received)
+
+    outputs = {node: algorithm.output(states[node]) for node in graph.nodes}
+    return ExecutionResult(outputs=outputs, rounds=rounds, halted=True, trace=trace)

@@ -1,0 +1,88 @@
+"""Execution traces and message accounting.
+
+The open question at the end of the paper (Section 5.4) is whether the large
+*message-size* overhead of the simulation constructions (Theorems 4, 8, 9) is
+necessary.  To be able to measure that overhead, the runner can record a
+:class:`Trace`: the full state history, the messages received by every port in
+every round, and a size estimate for each message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.graph import Node
+
+
+def message_size(message: Any) -> int:
+    """A structural size estimate of a message: the number of atoms it contains.
+
+    Containers (tuples, lists, sets, frozensets, dicts and
+    :class:`~repro.machines.multiset.FrozenMultiset`) contribute the sizes of
+    their elements plus one; everything else counts as a single atom.  The
+    estimate is used to compare message growth between an algorithm and its
+    simulation, not as an exact bit count.
+    """
+    from repro.machines.multiset import FrozenMultiset
+
+    if isinstance(message, (tuple, list, set, frozenset)):
+        return 1 + sum(message_size(item) for item in message)
+    if isinstance(message, FrozenMultiset):
+        return 1 + sum(message_size(item) * count for item, count in message.counts().items())
+    if isinstance(message, dict):
+        return 1 + sum(message_size(key) + message_size(value) for key, value in message.items())
+    return 1
+
+
+@dataclass
+class Trace:
+    """A complete record of one execution.
+
+    Attributes
+    ----------
+    state_history:
+        ``state_history[t][v]`` is the state of node ``v`` at time ``t``
+        (``t = 0`` is the initial state).
+    received_messages:
+        ``received_messages[t][(v, i)]`` is the message received by node ``v``
+        through input port ``i`` in round ``t`` (rounds are 1-based; index 0 is
+        an empty dict for alignment with ``state_history``).
+    """
+
+    state_history: list[dict[Node, Any]] = field(default_factory=list)
+    received_messages: list[dict[tuple[Node, int], Any]] = field(default_factory=list)
+
+    @property
+    def rounds(self) -> int:
+        """The number of communication rounds recorded."""
+        return max(0, len(self.state_history) - 1)
+
+    def states_at(self, time: int) -> dict[Node, Any]:
+        """The state vector ``x_t``."""
+        return self.state_history[time]
+
+    def max_message_size(self) -> int:
+        """The largest message (structural size) observed in the execution."""
+        sizes = [
+            message_size(message)
+            for per_round in self.received_messages
+            for message in per_round.values()
+        ]
+        return max(sizes, default=0)
+
+    def total_message_volume(self) -> int:
+        """The sum of all message sizes over the whole execution."""
+        return sum(
+            message_size(message)
+            for per_round in self.received_messages
+            for message in per_round.values()
+        )
+
+    def messages_received_by(self, node: Node, time: int) -> dict[int, Any]:
+        """The messages received by ``node`` in round ``time``, keyed by input port."""
+        return {
+            port: message
+            for (receiver, port), message in self.received_messages[time].items()
+            if receiver == node
+        }

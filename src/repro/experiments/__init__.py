@@ -1,0 +1,32 @@
+"""The experiment harness: every paper artefact as a paper-vs-measured table.
+
+The experiments are indexed in DESIGN.md (E1-E12); each module's ``run()``
+regenerates one figure/theorem/lemma and returns an
+:class:`~repro.experiments.report.ExperimentResult`.  Use::
+
+    from repro.experiments import run_all_experiments, format_report
+    print(format_report(run_all_experiments()))
+
+to regenerate the whole EXPERIMENTS.md table.
+"""
+
+from repro.experiments.report import ExperimentResult, Row, format_report
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "format_report",
+    "EXPERIMENTS",
+    "run_all_experiments",
+    "run_experiment",
+]
+
+
+def __getattr__(name: str):
+    # The registry imports the experiment modules, which in turn import large
+    # parts of the library; resolve it lazily to keep ``import repro`` cheap.
+    if name in {"EXPERIMENTS", "run_all_experiments", "run_experiment"}:
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

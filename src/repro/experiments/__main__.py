@@ -1,0 +1,27 @@
+"""Command-line entry point: regenerate the experiment report.
+
+Usage::
+
+    python -m repro.experiments            # run all experiments (E1-E12)
+    python -m repro.experiments E3 E10     # run selected experiments
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import run_all_experiments, run_experiment
+from repro.experiments.report import format_report
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        results = [run_experiment(experiment_id) for experiment_id in argv]
+    else:
+        results = run_all_experiments()
+    print(format_report(results))
+    return 0 if all(result.all_match for result in results) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,58 @@
+"""Experiment E2 -- what each model observes (Figures 3, 4 and 6).
+
+Runs a one-round "echo" workload on a fixed graph and reports how the same
+incoming traffic looks through the three receive modes (vector, multiset,
+set) and how the two send modes differ, matching the comparison of Figures 3
+and 4.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.machines.models import ReceiveMode
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Information available in each model",
+        paper_reference="Section 1.5, Figures 3-4 and 6",
+    )
+    # The example of Figure 3: a node receives (a, b, a) on its three ports.
+    raw = ("a", "b", "a")
+    vector = ReceiveMode.VECTOR.project(raw)
+    multiset = ReceiveMode.MULTISET.project(raw)
+    message_set = ReceiveMode.SET.project(raw)
+
+    result.add(
+        "Vector reception keeps port order",
+        "received (a, b, a)",
+        str(vector),
+        vector == ("a", "b", "a"),
+    )
+    result.add(
+        "Multiset reception forgets order, keeps multiplicity",
+        "received {a, a, b}",
+        f"counts={dict(sorted(multiset.counts().items()))}",
+        multiset.count("a") == 2 and multiset.count("b") == 1,
+    )
+    result.add(
+        "Set reception forgets multiplicities",
+        "received {a, b}",
+        str(sorted(message_set)),
+        message_set == frozenset({"a", "b"}),
+    )
+    reordered = ReceiveMode.MULTISET.project(("a", "a", "b"))
+    result.add(
+        "Multiset reception is order-invariant",
+        "multiset((a,b,a)) = multiset((a,a,b))",
+        f"equal={multiset == reordered}",
+        multiset == reordered,
+    )
+    result.add(
+        "Vector reception is order-sensitive",
+        "(a,b,a) != (a,a,b) as vectors",
+        f"different={vector != ('a', 'a', 'b')}",
+        vector != ("a", "a", "b"),
+    )
+    return result

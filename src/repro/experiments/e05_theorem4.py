@@ -1,0 +1,83 @@
+"""Experiment E5 -- the Multiset-to-Set simulation (Theorem 4, Lemmas 5-6).
+
+Measures what the theorem promises:
+
+* the simulating Set algorithm reproduces the Multiset algorithm's output
+  exactly on every tested graph and port numbering;
+* the round overhead is bounded by ``2 * Delta`` (plus the one bookkeeping
+  round of this implementation);
+* after ``2 * Delta`` symmetry-breaking rounds no node has a pair of
+  indistinguishable neighbours (Lemma 6), i.e. the phase-2 tags are distinct.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.basic import GatherDegreesAlgorithm
+from repro.core.simulations import simulate_multiset_with_set
+from repro.execution.runner import run as run_algorithm
+from repro.execution.trace import message_size
+from repro.experiments.report import ExperimentResult
+from repro.graphs.generators import cycle_graph, figure9_graph, path_graph, star_graph
+from repro.graphs.ports import random_port_numbering
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Simulating Multiset algorithms with Set algorithms",
+        paper_reference="Theorem 4, Lemmas 5-6, Corollary 7",
+    )
+    rng = random.Random(5)
+    inner = GatherDegreesAlgorithm()
+    inner_time = 1
+    graphs = {
+        "star_3 (Delta=3)": star_graph(3),
+        "path_5 (Delta=2)": path_graph(5),
+        "cycle_6 (Delta=2)": cycle_graph(6),
+        "figure9 (Delta=3)": figure9_graph(),
+    }
+    for label, graph in graphs.items():
+        delta = graph.max_degree()
+        simulation = simulate_multiset_with_set(inner, delta)
+        exact = True
+        worst_rounds = 0
+        worst_message = 0
+        for _ in range(3):
+            numbering = random_port_numbering(graph, rng)
+            reference = run_algorithm(inner, graph, numbering)
+            simulated = run_algorithm(simulation, graph, numbering, record_trace=True)
+            exact = exact and simulated.outputs == reference.outputs
+            worst_rounds = max(worst_rounds, simulated.rounds)
+            worst_message = max(worst_message, simulated.trace.max_message_size())
+        bound = inner_time + 2 * delta + 1
+        result.add(
+            f"{label}: output preserved, rounds <= T + 2*Delta + 1",
+            f"T + O(Delta) = {bound}",
+            f"exact={exact}, rounds={worst_rounds}, max message size={worst_message}",
+            exact and worst_rounds <= bound,
+        )
+
+    # Lemma 6 on the Figure 9 graph: after 2*Delta rounds the phase-2 tags
+    # (beta, degree, outgoing port) are pairwise distinct across any node's
+    # neighbours -- checked implicitly by output exactness above, and
+    # explicitly here via the simulation's internal traces.
+    graph = figure9_graph()
+    delta = graph.max_degree()
+    simulation = simulate_multiset_with_set(inner, delta)
+    numbering = random_port_numbering(graph, rng)
+    trace = run_algorithm(simulation, graph, numbering, record_trace=True).trace
+    tag_round = 2 * delta + 1
+    distinct_everywhere = True
+    for node in graph.nodes:
+        received = trace.messages_received_by(node, tag_round)
+        tags = [message[:4] for message in received.values() if isinstance(message, tuple)]
+        distinct_everywhere = distinct_everywhere and len(tags) == len(set(tags))
+    result.add(
+        "Lemma 6: no pair of indistinguishable neighbours after 2*Delta rounds",
+        "phase-2 tags are pairwise distinct at every node",
+        f"distinct at all {graph.number_of_nodes} nodes: {distinct_everywhere}",
+        distinct_everywhere,
+    )
+    return result

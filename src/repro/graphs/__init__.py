@@ -1,0 +1,76 @@
+"""Graph substrate: simple undirected graphs, port numberings and generators.
+
+This subpackage provides every graph-theoretic object the paper relies on:
+
+* :class:`~repro.graphs.graph.Graph` -- immutable simple undirected graphs of
+  bounded degree (the family ``F(Delta)`` of Section 1.1).
+* :class:`~repro.graphs.ports.PortNumbering` -- port numberings and consistent
+  port numberings (Section 1.2, Figures 1 and 2).
+* :mod:`~repro.graphs.generators` -- structured graph families, including the
+  three-regular graph with no perfect matching of Figure 9 and the gadget pair
+  of Theorem 13.
+* :mod:`~repro.graphs.matching` -- matchings, 1-factors and 1-factorisations
+  (Lemmas 15 and 16), plus exact minimum vertex covers for small graphs.
+* :mod:`~repro.graphs.covers` -- the bipartite double cover construction of
+  Lemma 15 / Figure 8 and symmetric port numberings of regular graphs.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.ports import (
+    PortNumbering,
+    all_port_numberings,
+    consistent_port_numbering,
+    local_type,
+    random_port_numbering,
+)
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    figure9_graph,
+    from_networkx,
+    grid_graph,
+    hypercube_graph,
+    odd_odd_gadget_pair,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.graphs.matching import (
+    has_perfect_matching,
+    maximum_matching,
+    minimum_vertex_cover,
+    one_factorisation,
+)
+from repro.graphs.covers import (
+    bipartite_double_cover,
+    local_view,
+    symmetric_port_numbering,
+)
+
+__all__ = [
+    "Graph",
+    "PortNumbering",
+    "all_port_numberings",
+    "consistent_port_numbering",
+    "local_type",
+    "random_port_numbering",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "figure9_graph",
+    "from_networkx",
+    "grid_graph",
+    "hypercube_graph",
+    "odd_odd_gadget_pair",
+    "path_graph",
+    "random_regular_graph",
+    "star_graph",
+    "has_perfect_matching",
+    "maximum_matching",
+    "minimum_vertex_cover",
+    "one_factorisation",
+    "bipartite_double_cover",
+    "local_view",
+    "symmetric_port_numbering",
+]

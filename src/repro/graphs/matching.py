@@ -1,0 +1,172 @@
+"""Matchings, 1-factors and exact vertex covers.
+
+Lemma 15 of the paper relies on the classical fact that the edge set of a
+``k``-regular bipartite graph decomposes into ``k`` disjoint perfect matchings
+(1-factors); Lemma 16 and Theorem 17 rely on regular graphs *without* a
+1-factor.  This module provides the matching machinery for both, plus an exact
+minimum vertex cover used to measure approximation ratios in experiment E11.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from repro.graphs.graph import Graph, Node
+
+Matching = frozenset[frozenset[Node]]
+
+
+def _to_edge_set(edges: Iterable[tuple[Node, Node]]) -> Matching:
+    return frozenset(frozenset(edge) for edge in edges)
+
+
+def maximum_matching(graph: Graph) -> Matching:
+    """A maximum-cardinality matching (as a set of 2-element frozensets)."""
+    import networkx as nx
+
+    nx_graph = graph.to_networkx()
+    matching = nx.max_weight_matching(nx_graph, maxcardinality=True)
+    return _to_edge_set(matching)
+
+
+def maximal_matching(graph: Graph) -> Matching:
+    """A (greedy, deterministic) maximal matching -- not necessarily maximum."""
+    matched: set[Node] = set()
+    edges = []
+    for u, v in graph.edges:
+        if u not in matched and v not in matched:
+            matched.add(u)
+            matched.add(v)
+            edges.append((u, v))
+    return _to_edge_set(edges)
+
+
+def is_matching(graph: Graph, edges: Iterable[frozenset[Node]]) -> bool:
+    """Whether ``edges`` is a matching of ``graph`` (disjoint graph edges)."""
+    seen: set[Node] = set()
+    for edge in edges:
+        endpoints = tuple(edge)
+        if len(endpoints) != 2:
+            return False
+        u, v = endpoints
+        if not graph.has_edge(u, v):
+            return False
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True
+
+
+def is_perfect_matching(graph: Graph, edges: Iterable[frozenset[Node]]) -> bool:
+    """Whether ``edges`` is a 1-factor of ``graph`` (covers every node exactly once)."""
+    edges = list(edges)
+    if not is_matching(graph, edges):
+        return False
+    covered = {node for edge in edges for node in edge}
+    return covered == set(graph.nodes)
+
+
+def has_perfect_matching(graph: Graph) -> bool:
+    """Whether ``graph`` has a 1-factor.
+
+    The Figure 9 graph is the paper's canonical example of a connected
+    3-regular graph for which this returns ``False``.
+    """
+    if graph.number_of_nodes % 2 != 0:
+        return False
+    return len(maximum_matching(graph)) * 2 == graph.number_of_nodes
+
+
+def perfect_matching(graph: Graph) -> Matching:
+    """A 1-factor of ``graph``; raises :class:`ValueError` if none exists."""
+    matching = maximum_matching(graph)
+    if len(matching) * 2 != graph.number_of_nodes:
+        raise ValueError("graph has no perfect matching")
+    return matching
+
+
+def one_factorisation(graph: Graph) -> list[Matching]:
+    """Decompose a regular bipartite graph into disjoint 1-factors.
+
+    By König's edge-colouring theorem (a corollary of Hall's marriage theorem,
+    as invoked in Lemma 15), the edge set of every ``k``-regular bipartite
+    graph is the union of ``k`` mutually disjoint perfect matchings.  The
+    decomposition is computed by repeatedly extracting a perfect matching with
+    Hopcroft-Karp and deleting it.
+
+    Raises
+    ------
+    ValueError
+        If the graph is not bipartite or not regular.
+    """
+    import networkx as nx
+
+    if not graph.is_regular():
+        raise ValueError("one_factorisation requires a regular graph")
+    bipartition = graph.bipartition()
+    if bipartition is None:
+        raise ValueError("one_factorisation requires a bipartite graph")
+    if not graph.nodes:
+        return []
+    k = graph.degree(graph.nodes[0])
+    left, _right = bipartition
+    factors: list[Matching] = []
+    remaining = graph
+    for _ in range(k):
+        nx_graph = remaining.to_networkx()
+        matching = nx.bipartite.hopcroft_karp_matching(nx_graph, top_nodes=set(left))
+        factor = _to_edge_set(
+            (u, v) for u, v in matching.items() if u in left
+        )
+        if len(factor) * 2 != graph.number_of_nodes:
+            raise ValueError("graph is not regular bipartite; 1-factor extraction failed")
+        factors.append(factor)
+        remaining = remaining.remove_edges(tuple(edge) for edge in factor)
+    if remaining.number_of_edges != 0:
+        raise ValueError("leftover edges after extracting all 1-factors")
+    return factors
+
+
+# ---------------------------------------------------------------------- #
+# Vertex covers
+# ---------------------------------------------------------------------- #
+
+
+def is_vertex_cover(graph: Graph, cover: Iterable[Node]) -> bool:
+    """Whether ``cover`` touches every edge of ``graph``."""
+    cover_set = set(cover)
+    return all(u in cover_set or v in cover_set for u, v in graph.edges)
+
+
+def minimum_vertex_cover(graph: Graph) -> frozenset[Node]:
+    """An exact minimum vertex cover.
+
+    Uses a bounded search over subsets seeded by the maximum-matching lower
+    bound; intended for the small graphs of experiment E11 (tens of nodes with
+    few edges), not for large instances.
+    """
+    if graph.number_of_edges == 0:
+        return frozenset()
+    lower_bound = len(maximum_matching(graph))
+    # Only nodes incident to at least one edge can usefully appear in a cover.
+    candidates = sorted(
+        (node for node in graph.nodes if graph.degree(node) > 0),
+        key=lambda node: -graph.degree(node),
+    )
+    for size in range(lower_bound, len(candidates) + 1):
+        for subset in itertools.combinations(candidates, size):
+            if is_vertex_cover(graph, subset):
+                return frozenset(subset)
+    raise RuntimeError("unreachable: the full candidate set is always a cover")
+
+
+def vertex_cover_from_matching(graph: Graph, matching: Iterable[frozenset[Node]]) -> frozenset[Node]:
+    """The vertex cover consisting of both endpoints of every matching edge.
+
+    For a *maximal* matching this is the classical centralised 2-approximation
+    of minimum vertex cover; the distributed variants of Section 3.3 emulate
+    this bound in weak models.
+    """
+    return frozenset(node for edge in matching for node in edge)

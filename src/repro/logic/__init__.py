@@ -1,0 +1,74 @@
+"""Modal logic substrate: syntax, Kripke semantics, parsing and bisimulation.
+
+The paper characterises the constant-time problem classes with four modal
+logics (Section 4.1):
+
+* **ML** -- basic modal logic (one diamond),
+* **GML** -- graded modal logic (counting diamonds),
+* **MML** -- multimodal logic (one diamond per index), and
+* **GMML** -- graded multimodal logic.
+
+This subpackage implements all four over a single formula AST
+(:mod:`~repro.logic.syntax`), finite Kripke models
+(:mod:`~repro.logic.kripke`), a model checker
+(:mod:`~repro.logic.semantics`), a concrete text syntax
+(:mod:`~repro.logic.parser`) and the (graded) bisimulation machinery of
+Section 4.2 (:mod:`~repro.logic.bisimulation`).
+"""
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    Formula,
+    GradedDiamond,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    Top,
+    conjunction,
+    disjunction,
+    logic_of,
+    modal_depth,
+)
+from repro.logic.kripke import KripkeModel
+from repro.logic.semantics import extension, satisfies
+from repro.logic.parser import parse_formula
+from repro.logic.bisimulation import (
+    are_bisimilar,
+    bisimilarity_partition,
+    bisimilar_within,
+    bounded_bisimilarity_partition,
+    is_bisimulation,
+    is_graded_bisimulation,
+)
+
+__all__ = [
+    "And",
+    "Bottom",
+    "Box",
+    "Diamond",
+    "Formula",
+    "GradedDiamond",
+    "Implies",
+    "Not",
+    "Or",
+    "Prop",
+    "Top",
+    "conjunction",
+    "disjunction",
+    "logic_of",
+    "modal_depth",
+    "KripkeModel",
+    "extension",
+    "satisfies",
+    "parse_formula",
+    "are_bisimilar",
+    "bisimilarity_partition",
+    "bisimilar_within",
+    "bounded_bisimilarity_partition",
+    "is_bisimulation",
+    "is_graded_bisimulation",
+]

@@ -1,0 +1,231 @@
+"""Bisimulation and graded bisimulation (Section 4.2).
+
+Two tools are provided:
+
+* **Partition refinement** computes the coarsest (graded) bisimilarity
+  equivalence on a finite model: worlds start grouped by their propositional
+  label and are repeatedly split according to which blocks (for plain
+  bisimilarity) or how many successors in each block (for graded
+  bisimilarity) they can reach through each relation.  The bounded variant
+  stops after ``k`` refinement rounds and corresponds to ``k``-round
+  indistinguishability, i.e. to formulas of modal depth at most ``k``.
+
+* **Certificate checking** verifies that an explicitly given relation ``Z`` is
+  a bisimulation (conditions B1-B3) or a graded bisimulation (B1, B2*, B3*).
+  Conditions B2*/B3* quantify over all subsets of the successor sets; by
+  Hall's marriage theorem they are equivalent to the existence of an injection
+  of ``R(v)`` into ``R'(v')`` along ``Z`` (and vice versa), which is what the
+  checker computes via bipartite matching.
+
+Fact 1 of the paper -- bisimilar worlds satisfy the same ML/MML formulas and
+g-bisimilar worlds the same GML/GMML formulas -- is exercised as a
+property-based test of this module.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterable
+
+from repro.logic.kripke import Index, KripkeModel, World
+
+Partition = dict[World, int]
+
+
+def _initial_partition(model: KripkeModel) -> Partition:
+    labels: dict[frozenset[Hashable], int] = {}
+    partition: Partition = {}
+    for world in sorted(model.worlds, key=repr):
+        label = model.label(world)
+        if label not in labels:
+            labels[label] = len(labels)
+        partition[world] = labels[label]
+    return partition
+
+
+def _refine_once(model: KripkeModel, partition: Partition, graded: bool) -> Partition:
+    indices = sorted(model.indices, key=repr)
+    signatures: dict[World, tuple] = {}
+    for world in model.worlds:
+        per_index = []
+        for index in indices:
+            successor_blocks = [partition[successor] for successor in model.successors(world, index)]
+            if graded:
+                per_index.append(tuple(sorted(Counter(successor_blocks).items())))
+            else:
+                per_index.append(tuple(sorted(set(successor_blocks))))
+        signatures[world] = (partition[world], tuple(per_index))
+    blocks: dict[tuple, int] = {}
+    refined: Partition = {}
+    for world in sorted(model.worlds, key=repr):
+        signature = signatures[world]
+        if signature not in blocks:
+            blocks[signature] = len(blocks)
+        refined[world] = blocks[signature]
+    return refined
+
+
+def _partition_sizes(partition: Partition) -> int:
+    return len(set(partition.values()))
+
+
+def bisimilarity_partition(model: KripkeModel, graded: bool = False) -> Partition:
+    """The coarsest (graded) bisimilarity equivalence, as a world-to-block map."""
+    partition = _initial_partition(model)
+    while True:
+        refined = _refine_once(model, partition, graded)
+        if _partition_sizes(refined) == _partition_sizes(partition):
+            return refined
+        partition = refined
+
+
+def bounded_bisimilarity_partition(
+    model: KripkeModel, rounds: int, graded: bool = False
+) -> Partition:
+    """The ``rounds``-round (graded) bisimilarity equivalence.
+
+    Worlds in the same block cannot be separated by any formula of modal depth
+    at most ``rounds`` (of the matching logic), hence by any local algorithm of
+    the matching class running for at most ``rounds`` rounds (Theorem 2).
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    partition = _initial_partition(model)
+    for _ in range(rounds):
+        partition = _refine_once(model, partition, graded)
+    return partition
+
+
+def bisimilarity_classes(model: KripkeModel, graded: bool = False) -> list[frozenset[World]]:
+    """The (graded) bisimilarity equivalence classes."""
+    partition = bisimilarity_partition(model, graded=graded)
+    blocks: dict[int, set[World]] = {}
+    for world, block in partition.items():
+        blocks.setdefault(block, set()).add(world)
+    return [frozenset(worlds) for _, worlds in sorted(blocks.items())]
+
+
+def bisimilar_within(model: KripkeModel, worlds: Iterable[World], graded: bool = False) -> bool:
+    """Whether all the given worlds of one model are pairwise (graded) bisimilar."""
+    worlds = list(worlds)
+    if len(worlds) <= 1:
+        return True
+    partition = bisimilarity_partition(model, graded=graded)
+    return len({partition[world] for world in worlds}) == 1
+
+
+def are_bisimilar(
+    first_model: KripkeModel,
+    first_world: World,
+    second_model: KripkeModel,
+    second_world: World,
+    graded: bool = False,
+) -> bool:
+    """Whether two pointed models are (graded) bisimilar.
+
+    The two models are combined into their disjoint union and the coarsest
+    bisimilarity partition of the union is consulted.
+    """
+    union = first_model.disjoint_union(second_model)
+    partition = bisimilarity_partition(union, graded=graded)
+    return partition[(0, first_world)] == partition[(1, second_world)]
+
+
+# ---------------------------------------------------------------------- #
+# Certificate checking
+# ---------------------------------------------------------------------- #
+
+
+def _atoms_agree(
+    first_model: KripkeModel, first_world: World, second_model: KripkeModel, second_world: World
+) -> bool:
+    propositions = first_model.propositions | second_model.propositions
+    return all(
+        first_model.holds(prop, first_world) == second_model.holds(prop, second_world)
+        for prop in propositions
+    )
+
+
+def is_bisimulation(
+    first_model: KripkeModel,
+    second_model: KripkeModel,
+    relation: Iterable[tuple[World, World]],
+) -> bool:
+    """Whether ``relation`` is a bisimulation between the two models (B1-B3)."""
+    pairs = set(relation)
+    if not pairs:
+        return False
+    indices = first_model.indices | second_model.indices
+    for v, v_prime in pairs:
+        if not _atoms_agree(first_model, v, second_model, v_prime):
+            return False
+        for index in indices:
+            # (B2) forth
+            for w in first_model.successors(v, index):
+                if not any(
+                    (w, w_prime) in pairs for w_prime in second_model.successors(v_prime, index)
+                ):
+                    return False
+            # (B3) back
+            for w_prime in second_model.successors(v_prime, index):
+                if not any((w, w_prime) in pairs for w in first_model.successors(v, index)):
+                    return False
+    return True
+
+
+def _has_injection(
+    sources: tuple[World, ...],
+    targets: tuple[World, ...],
+    allowed: set[tuple[World, World]],
+) -> bool:
+    """Whether every source can be matched to a distinct allowed target (Hall)."""
+    import networkx as nx
+
+    if len(sources) > len(targets):
+        return False
+    if not sources:
+        return True
+    graph = nx.Graph()
+    source_labels = [("s", i) for i in range(len(sources))]
+    target_labels = [("t", j) for j in range(len(targets))]
+    graph.add_nodes_from(source_labels, bipartite=0)
+    graph.add_nodes_from(target_labels, bipartite=1)
+    for i, source in enumerate(sources):
+        for j, target in enumerate(targets):
+            if (source, target) in allowed:
+                graph.add_edge(("s", i), ("t", j))
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=source_labels)
+    matched_sources = sum(1 for node in matching if node in set(source_labels))
+    return matched_sources == len(sources)
+
+
+def is_graded_bisimulation(
+    first_model: KripkeModel,
+    second_model: KripkeModel,
+    relation: Iterable[tuple[World, World]],
+) -> bool:
+    """Whether ``relation`` is a graded bisimulation (B1, B2*, B3*).
+
+    Conditions B2* and B3* require, for every related pair ``(v, v')`` and
+    every subset ``X`` of ``R(v)``, a same-size subset of ``R'(v')`` covered by
+    ``Z``-partners of ``X`` (and symmetrically).  By Hall's marriage theorem
+    this holds if and only if ``R(v)`` injects into ``R'(v')`` along ``Z`` and
+    ``R'(v')`` injects into ``R(v)`` along ``Z^{-1}``; the checker verifies the
+    two injections with bipartite matching.
+    """
+    pairs = set(relation)
+    if not pairs:
+        return False
+    inverse_pairs = {(b, a) for a, b in pairs}
+    indices = first_model.indices | second_model.indices
+    for v, v_prime in pairs:
+        if not _atoms_agree(first_model, v, second_model, v_prime):
+            return False
+        for index in indices:
+            forward = first_model.successors(v, index)
+            backward = second_model.successors(v_prime, index)
+            if not _has_injection(forward, backward, pairs):
+                return False
+            if not _has_injection(backward, forward, inverse_pairs):
+                return False
+    return True

@@ -1,0 +1,183 @@
+"""A concrete text syntax for formulas.
+
+The grammar (closely mirroring how :func:`str` prints formulas)::
+
+    formula     := implication
+    implication := disjunction ('->' implication)?
+    disjunction := conjunction ('|' conjunction)*
+    conjunction := unary ('&' unary)*
+    unary       := '~' unary | diamond | box | atom
+    diamond     := '<' index? '>' ('>=' INT)? unary
+    box         := '[' index? ']' unary
+    atom        := 'true' | 'false' | IDENT | '(' formula ')'
+    index       := part (',' part)*      part := INT | '*' | IDENT
+
+Examples::
+
+    parse_formula("deg1 & <>(deg2 | ~deg3)")
+    parse_formula("<2,1> deg3")          # multimodal diamond with index (2, 1)
+    parse_formula("<*,*>>=2 odd")        # graded diamond, grade 2
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    Formula,
+    GradedDiamond,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    Top,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<geq>>=)|(?P<punct>[()\[\]<>,&|~*])|"
+    r"(?P<int>\d+)|(?P<ident>[A-Za-z_][A-Za-z0-9_]*))"
+)
+
+
+class FormulaParseError(ValueError):
+    """Raised when a formula string cannot be parsed."""
+
+
+def _tokenise(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise FormulaParseError(f"unexpected character at {text[position:]!r}")
+        token = next(group for group in match.groups() if group is not None)
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FormulaParseError("unexpected end of formula")
+        self._position += 1
+        return token
+
+    def expect(self, expected: str) -> None:
+        token = self.advance()
+        if token != expected:
+            raise FormulaParseError(f"expected {expected!r} but found {token!r}")
+
+    # -------------------------------------------------------------- #
+
+    def parse_formula(self) -> Formula:
+        formula = self.parse_implication()
+        if self.peek() is not None:
+            raise FormulaParseError(f"trailing tokens starting at {self.peek()!r}")
+        return formula
+
+    def parse_implication(self) -> Formula:
+        left = self.parse_disjunction()
+        if self.peek() == "->":
+            self.advance()
+            right = self.parse_implication()
+            return Implies(left, right)
+        return left
+
+    def parse_disjunction(self) -> Formula:
+        result = self.parse_conjunction()
+        while self.peek() == "|":
+            self.advance()
+            result = Or(result, self.parse_conjunction())
+        return result
+
+    def parse_conjunction(self) -> Formula:
+        result = self.parse_unary()
+        while self.peek() == "&":
+            self.advance()
+            result = And(result, self.parse_unary())
+        return result
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token == "~":
+            self.advance()
+            return Not(self.parse_unary())
+        if token == "<":
+            return self.parse_diamond()
+        if token == "[":
+            return self.parse_box()
+        return self.parse_atom()
+
+    def parse_index(self, closing: str) -> Any:
+        parts: list[Any] = []
+        while self.peek() != closing:
+            token = self.advance()
+            if token == ",":
+                continue
+            if token == "*":
+                parts.append("*")
+            elif token.isdigit():
+                parts.append(int(token))
+            else:
+                parts.append(token)
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return tuple(parts)
+
+    def parse_diamond(self) -> Formula:
+        self.expect("<")
+        index = self.parse_index(">")
+        self.expect(">")
+        if self.peek() == ">=":
+            self.advance()
+            grade_token = self.advance()
+            if not grade_token.isdigit():
+                raise FormulaParseError(f"expected a grade after '>=', found {grade_token!r}")
+            return GradedDiamond(self.parse_unary(), grade=int(grade_token), index=index)
+        return Diamond(self.parse_unary(), index=index)
+
+    def parse_box(self) -> Formula:
+        self.expect("[")
+        index = self.parse_index("]")
+        self.expect("]")
+        return Box(self.parse_unary(), index=index)
+
+    def parse_atom(self) -> Formula:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_implication()
+            self.expect(")")
+            return inner
+        if token == "true":
+            return Top()
+        if token == "false":
+            return Bottom()
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            return Prop(token)
+        raise FormulaParseError(f"unexpected token {token!r}")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a formula from its text representation."""
+    return _Parser(_tokenise(text)).parse_formula()

@@ -1,0 +1,264 @@
+"""Formula syntax for ML, GML, MML and GMML (Section 4.1).
+
+Formulas are immutable trees built from propositions, Boolean connectives and
+(possibly graded, possibly indexed) diamonds.  The same AST serves all four
+logics; :func:`logic_of` reports the smallest logic a given formula lives in,
+and :func:`modal_depth` computes the nesting depth of modalities, which by
+Theorem 2 corresponds to the running time of the matching local algorithm.
+
+The modality index ``alpha`` is an arbitrary hashable value.  The Kripke
+encodings of Section 4.3 use pairs such as ``(2, 1)``, ``(2, '*')``,
+``('*', 1)`` and ``('*', '*')``; plain ML/GML formulas may leave the index as
+``None``, which the model checker resolves to the unique relation of a
+unimodal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Hashable, Iterable
+
+
+class Formula:
+    """Base class of all formulas.  Instances are immutable and hashable."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """A proposition symbol ``q``."""
+
+    name: Hashable
+
+    def __str__(self) -> str:
+        return str(self.name)
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The constant true."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The constant false."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"~{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction (definable as ``~(~a & ~b)``; kept primitive for readability)."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication (definable; kept primitive for readability)."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Diamond(Formula):
+    """``<alpha> phi``: some ``alpha``-successor satisfies ``phi``."""
+
+    operand: Formula
+    index: Hashable = None
+
+    def __str__(self) -> str:
+        label = "" if self.index is None else _index_str(self.index)
+        return f"<{label}>{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class Box(Formula):
+    """``[alpha] phi``: every ``alpha``-successor satisfies ``phi``."""
+
+    operand: Formula
+    index: Hashable = None
+
+    def __str__(self) -> str:
+        label = "" if self.index is None else _index_str(self.index)
+        return f"[{label}]{_wrap(self.operand)}"
+
+
+@dataclass(frozen=True)
+class GradedDiamond(Formula):
+    """``<alpha>_{>=k} phi``: at least ``k`` ``alpha``-successors satisfy ``phi``."""
+
+    operand: Formula
+    grade: int
+    index: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.grade < 0:
+            raise ValueError("the grade of a graded diamond must be non-negative")
+
+    def __str__(self) -> str:
+        label = "" if self.index is None else _index_str(self.index)
+        return f"<{label}>>={self.grade} {_wrap(self.operand)}"
+
+
+def _wrap(formula: Formula) -> str:
+    text = str(formula)
+    if isinstance(formula, (Prop, Top, Bottom, Not, Diamond, Box, GradedDiamond)):
+        return text
+    return text
+
+
+def _index_str(index: Any) -> str:
+    if isinstance(index, tuple):
+        return ",".join(str(part) for part in index)
+    return str(index)
+
+
+# ---------------------------------------------------------------------- #
+# Builders
+# ---------------------------------------------------------------------- #
+
+
+def conjunction(formulas: Iterable[Formula]) -> Formula:
+    """The conjunction of the given formulas (``Top()`` for an empty family)."""
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else And(result, formula)
+    return result if result is not None else Top()
+
+
+def disjunction(formulas: Iterable[Formula]) -> Formula:
+    """The disjunction of the given formulas (``Bottom()`` for an empty family)."""
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else Or(result, formula)
+    return result if result is not None else Bottom()
+
+
+# ---------------------------------------------------------------------- #
+# Structural queries
+# ---------------------------------------------------------------------- #
+
+
+def children(formula: Formula) -> tuple[Formula, ...]:
+    """The immediate subformulas."""
+    if isinstance(formula, (Prop, Top, Bottom)):
+        return ()
+    if isinstance(formula, (Not, Diamond, Box, GradedDiamond)):
+        return (formula.operand,)
+    if isinstance(formula, (And, Or, Implies)):
+        return (formula.left, formula.right)
+    raise TypeError(f"unknown formula type: {formula!r}")
+
+
+def subformulas(formula: Formula) -> frozenset[Formula]:
+    """All subformulas of ``formula``, including itself."""
+    result: set[Formula] = set()
+    stack = [formula]
+    while stack:
+        current = stack.pop()
+        if current in result:
+            continue
+        result.add(current)
+        stack.extend(children(current))
+    return frozenset(result)
+
+
+def modal_depth(formula: Formula) -> int:
+    """The modal depth ``md(phi)`` of Section 4.1."""
+    if isinstance(formula, (Prop, Top, Bottom)):
+        return 0
+    if isinstance(formula, Not):
+        return modal_depth(formula.operand)
+    if isinstance(formula, (And, Or, Implies)):
+        return max(modal_depth(formula.left), modal_depth(formula.right))
+    if isinstance(formula, (Diamond, Box, GradedDiamond)):
+        return modal_depth(formula.operand) + 1
+    raise TypeError(f"unknown formula type: {formula!r}")
+
+
+def propositions(formula: Formula) -> frozenset[Hashable]:
+    """The proposition symbols occurring in ``formula``."""
+    return frozenset(sub.name for sub in subformulas(formula) if isinstance(sub, Prop))
+
+
+def modal_indices(formula: Formula) -> frozenset[Hashable]:
+    """The modality indices occurring in ``formula`` (``None`` for plain diamonds)."""
+    return frozenset(
+        sub.index
+        for sub in subformulas(formula)
+        if isinstance(sub, (Diamond, Box, GradedDiamond))
+    )
+
+
+def is_graded(formula: Formula) -> bool:
+    """Whether ``formula`` uses a graded diamond."""
+    return any(isinstance(sub, GradedDiamond) for sub in subformulas(formula))
+
+
+def logic_of(formula: Formula) -> str:
+    """The smallest of ML, GML, MML, GMML containing ``formula``.
+
+    A formula is multimodal when it uses more than one modality index (or any
+    explicit index besides ``None``), and graded when it uses a graded
+    diamond.
+    """
+    indices = modal_indices(formula) - {None}
+    multimodal = len(indices) > 1 or (len(indices) == 1 and None in modal_indices(formula))
+    if len(indices) == 1 and None not in modal_indices(formula):
+        # A single explicit index can be read as plain ML/GML over that relation,
+        # but we classify it as multimodal because the index is named.
+        multimodal = True
+    graded = is_graded(formula)
+    if multimodal and graded:
+        return "GMML"
+    if multimodal:
+        return "MML"
+    if graded:
+        return "GML"
+    return "ML"

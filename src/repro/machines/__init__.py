@@ -1,0 +1,69 @@
+"""Distributed state machines and the seven weak models.
+
+* :mod:`~repro.machines.models` -- the receive/send modes, the algorithm
+  models ``Vector``, ``Multiset``, ``Set``, ``Broadcast`` and their
+  intersections, and the seven problem classes VVc, VV, MV, SV, VB, MB, SB.
+* :mod:`~repro.machines.multiset` -- an immutable multiset used to deliver
+  messages in the Multiset models.
+* :mod:`~repro.machines.algorithm` -- the ergonomic :class:`Algorithm` base
+  classes that examples and library algorithms implement.
+* :mod:`~repro.machines.state_machine` -- the paper's formal tuple
+  ``(Y, Z, z0, M, m0, mu, delta)`` and adapters to/from :class:`Algorithm`.
+* :mod:`~repro.machines.inspection` -- empirical membership checks for the
+  algorithm classes.
+"""
+
+from repro.machines.models import (
+    ALGORITHM_MODELS,
+    Model,
+    ProblemClass,
+    ReceiveMode,
+    SendMode,
+)
+from repro.machines.multiset import FrozenMultiset
+from repro.machines.algorithm import (
+    Algorithm,
+    BroadcastAlgorithm,
+    MultisetAlgorithm,
+    MultisetBroadcastAlgorithm,
+    SetAlgorithm,
+    SetBroadcastAlgorithm,
+    VectorAlgorithm,
+)
+from repro.machines.state_machine import (
+    FiniteStateMachine,
+    StateMachine,
+    algorithm_from_machine,
+    machine_from_algorithm,
+)
+from repro.machines.adapters import ModelUpcast, as_model
+from repro.machines.inspection import (
+    is_broadcast_machine,
+    respects_multiset_semantics,
+    respects_set_semantics,
+)
+
+__all__ = [
+    "ALGORITHM_MODELS",
+    "Model",
+    "ProblemClass",
+    "ReceiveMode",
+    "SendMode",
+    "FrozenMultiset",
+    "Algorithm",
+    "BroadcastAlgorithm",
+    "MultisetAlgorithm",
+    "MultisetBroadcastAlgorithm",
+    "SetAlgorithm",
+    "SetBroadcastAlgorithm",
+    "VectorAlgorithm",
+    "ModelUpcast",
+    "as_model",
+    "FiniteStateMachine",
+    "StateMachine",
+    "algorithm_from_machine",
+    "machine_from_algorithm",
+    "is_broadcast_machine",
+    "respects_multiset_semantics",
+    "respects_set_semantics",
+]

@@ -1,0 +1,88 @@
+"""Adapters between algorithm models: the trivial containments of Figure 5a.
+
+A Set algorithm *is* (after a trivial wrapping) a Multiset algorithm, a
+Multiset algorithm is a Vector algorithm, and a Broadcast algorithm is a
+port-addressed algorithm that happens to send the same message everywhere.
+These inclusions are what makes the containments of Figure 5a "trivial"; this
+module makes them executable: :func:`as_model` wraps an algorithm of a weaker
+model so that it formally belongs to a stronger one while computing exactly
+the same thing.
+
+(The non-trivial direction -- simulating a *stronger* model in a *weaker* one
+-- is the subject of Theorems 4, 8 and 9; see :mod:`repro.core.simulations`.)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.machines.algorithm import Algorithm
+from repro.machines.models import Model, ReceiveMode, SendMode
+
+
+class ModelUpcast(Algorithm):
+    """An algorithm of a weaker model presented as one of a stronger model.
+
+    The wrapper projects the received messages down to the wrapped algorithm's
+    receive mode and delegates message construction (replicating a broadcast
+    over all ports when the target model is port-addressed).
+    """
+
+    def __init__(self, inner: Algorithm, target: Model) -> None:
+        if not inner.model.is_weaker_or_equal(target):
+            raise ValueError(
+                f"cannot present a {inner.model} algorithm as a {target} algorithm; "
+                "only weaker-to-stronger adaptations are trivial (Figure 5a)"
+            )
+        self._inner = inner
+        self.model = target
+
+    @property
+    def name(self) -> str:
+        return f"{self._inner.name}@{self.model}"
+
+    @property
+    def inner(self) -> Algorithm:
+        return self._inner
+
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, degree: int) -> Any:
+        return self._inner.initial_state(degree)
+
+    def initial_state_with_input(self, degree: int, local_input: Any) -> Any:
+        return self._inner.initial_state_with_input(degree, local_input)
+
+    def send(self, state: Any, port: int) -> Any:
+        if self._inner.model.send is SendMode.BROADCAST:
+            return self._inner.broadcast(state)
+        return self._inner.send(state, port)
+
+    def broadcast(self, state: Any) -> Any:
+        return self._inner.broadcast(state)
+
+    def _project(self, received: Any) -> Any:
+        source = self.model.receive
+        target = self._inner.model.receive
+        if source is target:
+            return received
+        if source is ReceiveMode.VECTOR:
+            return target.project(tuple(received))
+        # source is MULTISET, target must be SET.
+        return received.to_set()
+
+    def transition(self, state: Any, received: Any) -> Any:
+        return self._inner.transition(state, self._project(received))
+
+    def is_stopping(self, state: Any) -> bool:
+        return self._inner.is_stopping(state)
+
+    def output(self, state: Any) -> Any:
+        return self._inner.output(state)
+
+
+def as_model(algorithm: Algorithm, target: Model) -> Algorithm:
+    """Present ``algorithm`` as an algorithm of the (stronger or equal) ``target`` model."""
+    if algorithm.model == target:
+        return algorithm
+    return ModelUpcast(algorithm, target)

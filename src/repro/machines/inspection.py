@@ -1,0 +1,119 @@
+"""Empirical membership checks for the algorithm classes of Section 1.5.
+
+Membership of a state machine in ``Multiset``, ``Set`` or ``Broadcast`` is a
+semantic closure property of its ``mu`` and ``delta`` functions:
+
+* ``Multiset``: ``delta`` is invariant under permutations of the received
+  message vector;
+* ``Set``: ``delta`` depends only on the set of received messages;
+* ``Broadcast``: ``mu`` sends the same message to every port.
+
+These properties are undecidable for arbitrary callables, so the checks here
+are *empirical*: they verify the property on a supplied finite collection of
+states and message vectors (exhaustively for :class:`FiniteStateMachine`
+instances with small message alphabets).  A ``False`` answer is a proof of
+non-membership; a ``True`` answer is evidence relative to the sample.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.machines.state_machine import FiniteStateMachine, StateMachine
+
+
+def _vectors_to_check(
+    machine: StateMachine,
+    states: Iterable[Any],
+    message_vectors: Iterable[Sequence[Any]] | None,
+    finite: FiniteStateMachine | None,
+    max_vectors: int,
+) -> list[tuple[Any, ...]]:
+    if message_vectors is not None:
+        return [tuple(vector) for vector in message_vectors]
+    if finite is None:
+        raise ValueError(
+            "message_vectors must be provided unless the machine is a FiniteStateMachine"
+        )
+    alphabet = sorted(finite.messages | {finite.no_message}, key=repr)
+    vectors = []
+    for vector in itertools.product(alphabet, repeat=finite.delta_bound):
+        vectors.append(vector)
+        if len(vectors) >= max_vectors:
+            break
+    return vectors
+
+
+def respects_multiset_semantics(
+    machine: StateMachine | FiniteStateMachine,
+    states: Iterable[Any] | None = None,
+    message_vectors: Iterable[Sequence[Any]] | None = None,
+    max_vectors: int = 4096,
+) -> bool:
+    """Whether ``delta`` is invariant under permuting the received vector."""
+    finite = machine if isinstance(machine, FiniteStateMachine) else None
+    generic = finite.as_state_machine() if finite else machine
+    if states is None:
+        if finite is None:
+            raise ValueError("states must be provided unless the machine is finite")
+        states = finite.intermediate_states
+    vectors = _vectors_to_check(generic, states, message_vectors, finite, max_vectors)
+    for state in states:
+        if generic.is_stopping(state):
+            continue
+        for vector in vectors:
+            baseline = generic.transition(state, tuple(vector))
+            for permutation in itertools.permutations(vector):
+                if generic.transition(state, permutation) != baseline:
+                    return False
+    return True
+
+
+def respects_set_semantics(
+    machine: StateMachine | FiniteStateMachine,
+    states: Iterable[Any] | None = None,
+    message_vectors: Iterable[Sequence[Any]] | None = None,
+    max_vectors: int = 4096,
+) -> bool:
+    """Whether ``delta`` depends only on the set of received messages."""
+    finite = machine if isinstance(machine, FiniteStateMachine) else None
+    generic = finite.as_state_machine() if finite else machine
+    if states is None:
+        if finite is None:
+            raise ValueError("states must be provided unless the machine is finite")
+        states = finite.intermediate_states
+    vectors = _vectors_to_check(generic, states, message_vectors, finite, max_vectors)
+    for state in states:
+        if generic.is_stopping(state):
+            continue
+        by_set: dict[frozenset[Any], Any] = {}
+        for vector in vectors:
+            key = frozenset(vector)
+            outcome = generic.transition(state, tuple(vector))
+            if key in by_set and by_set[key] != outcome:
+                return False
+            by_set[key] = outcome
+    return True
+
+
+def is_broadcast_machine(
+    machine: StateMachine | FiniteStateMachine,
+    states: Iterable[Any] | None = None,
+) -> bool:
+    """Whether ``mu`` sends the same message to every output port."""
+    finite = machine if isinstance(machine, FiniteStateMachine) else None
+    generic = finite.as_state_machine() if finite else machine
+    if states is None:
+        if finite is None:
+            raise ValueError("states must be provided unless the machine is finite")
+        states = finite.intermediate_states
+    delta_bound = generic.delta_bound
+    for state in states:
+        if generic.is_stopping(state):
+            continue
+        messages = {generic.message(state, port) for port in range(1, delta_bound + 1)}
+        if len(messages) > 1:
+            return False
+    return True

@@ -1,0 +1,157 @@
+"""The seven weak models of distributed computing (Sections 1.5 and 1.6).
+
+A model is determined by two independent choices:
+
+* how a node *receives* (:class:`ReceiveMode`): a vector of messages indexed
+  by input port, a multiset of messages (no input port numbers), or a set of
+  messages (neither port numbers nor multiplicities); and
+* how a node *sends* (:class:`SendMode`): a possibly different message per
+  output port, or a single broadcast message.
+
+Combining the modes gives the algorithm classes of Section 1.5 (``Vector``,
+``Multiset``, ``Set``, ``Broadcast``, ``Multiset ∩ Broadcast``,
+``Set ∩ Broadcast``).  A :class:`ProblemClass` pairs an algorithm model with
+the port-numbering assumption (arbitrary or consistent), yielding the seven
+classes VVc, VV, MV, SV, VB, MB and SB of Section 1.6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.machines.multiset import FrozenMultiset
+
+
+class ReceiveMode(enum.Enum):
+    """How incoming messages are presented to the algorithm (Figure 3)."""
+
+    VECTOR = "vector"
+    MULTISET = "multiset"
+    SET = "set"
+
+    def project(self, messages: Sequence[Any]) -> Any:
+        """Project a vector of received messages into this mode's view.
+
+        ``messages`` is the raw vector indexed by input port (without the
+        ``m0`` padding).  VECTOR keeps the tuple, MULTISET forgets the order,
+        SET additionally forgets multiplicities.
+        """
+        if self is ReceiveMode.VECTOR:
+            return tuple(messages)
+        if self is ReceiveMode.MULTISET:
+            return FrozenMultiset(messages)
+        return frozenset(messages)
+
+    def is_weaker_or_equal(self, other: "ReceiveMode") -> bool:
+        """Whether this mode reveals at most as much information as ``other``."""
+        order = {ReceiveMode.SET: 0, ReceiveMode.MULTISET: 1, ReceiveMode.VECTOR: 2}
+        return order[self] <= order[other]
+
+
+class SendMode(enum.Enum):
+    """How outgoing messages are constructed (Figure 4)."""
+
+    PORT = "port"
+    BROADCAST = "broadcast"
+
+    def is_weaker_or_equal(self, other: "SendMode") -> bool:
+        order = {SendMode.BROADCAST: 0, SendMode.PORT: 1}
+        return order[self] <= order[other]
+
+
+@dataclass(frozen=True)
+class Model:
+    """An algorithm model: a receive mode paired with a send mode."""
+
+    receive: ReceiveMode
+    send: SendMode
+
+    @property
+    def name(self) -> str:
+        receive_letter = {
+            ReceiveMode.VECTOR: "V",
+            ReceiveMode.MULTISET: "M",
+            ReceiveMode.SET: "S",
+        }[self.receive]
+        send_letter = {SendMode.PORT: "V", SendMode.BROADCAST: "B"}[self.send]
+        return receive_letter + send_letter
+
+    def is_weaker_or_equal(self, other: "Model") -> bool:
+        """Whether every algorithm of this model is trivially one of ``other``.
+
+        These are exactly the containments of Figure 5a (before the collapse
+        results of the paper are applied).
+        """
+        return self.receive.is_weaker_or_equal(other.receive) and self.send.is_weaker_or_equal(
+            other.send
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+VECTOR_MODEL = Model(ReceiveMode.VECTOR, SendMode.PORT)
+MULTISET_MODEL = Model(ReceiveMode.MULTISET, SendMode.PORT)
+SET_MODEL = Model(ReceiveMode.SET, SendMode.PORT)
+BROADCAST_MODEL = Model(ReceiveMode.VECTOR, SendMode.BROADCAST)
+MULTISET_BROADCAST_MODEL = Model(ReceiveMode.MULTISET, SendMode.BROADCAST)
+SET_BROADCAST_MODEL = Model(ReceiveMode.SET, SendMode.BROADCAST)
+
+ALGORITHM_MODELS: tuple[Model, ...] = (
+    VECTOR_MODEL,
+    MULTISET_MODEL,
+    SET_MODEL,
+    BROADCAST_MODEL,
+    MULTISET_BROADCAST_MODEL,
+    SET_BROADCAST_MODEL,
+)
+
+
+class ProblemClass(enum.Enum):
+    """The seven classes of graph problems of Section 1.6."""
+
+    VVC = "VVc"
+    VV = "VV"
+    MV = "MV"
+    SV = "SV"
+    VB = "VB"
+    MB = "MB"
+    SB = "SB"
+
+    @property
+    def model(self) -> Model:
+        """The algorithm model whose algorithms witness membership in the class."""
+        return _CLASS_TO_MODEL[self]
+
+    @property
+    def requires_consistency(self) -> bool:
+        """Whether the class only quantifies over consistent port numberings."""
+        return self is ProblemClass.VVC
+
+    def trivially_contains(self, other: "ProblemClass") -> bool:
+        """The syntactic containments of Figure 5a: ``other ⊆ self``.
+
+        A weaker model solves fewer problems, and assuming consistency only
+        helps, so ``other ⊆ self`` holds trivially whenever ``other``'s model
+        is weaker than ``self``'s and ``self`` assumes at least as much about
+        the port numbering.
+        """
+        models_ordered = other.model.is_weaker_or_equal(self.model)
+        consistency_ordered = other.requires_consistency <= self.requires_consistency
+        return models_ordered and consistency_ordered
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_CLASS_TO_MODEL: dict[ProblemClass, Model] = {
+    ProblemClass.VVC: VECTOR_MODEL,
+    ProblemClass.VV: VECTOR_MODEL,
+    ProblemClass.MV: MULTISET_MODEL,
+    ProblemClass.SV: SET_MODEL,
+    ProblemClass.VB: BROADCAST_MODEL,
+    ProblemClass.MB: MULTISET_BROADCAST_MODEL,
+    ProblemClass.SB: SET_BROADCAST_MODEL,
+}

@@ -1,0 +1,37 @@
+"""The bridge between distributed algorithms and modal logic (Section 4).
+
+* :mod:`~repro.modal.encoding` -- the four Kripke encodings ``K++``, ``K-+``,
+  ``K+-`` and ``K--`` of a port-numbered graph (Section 4.3).
+* :mod:`~repro.modal.formula_to_algorithm` -- Theorem 2, parts 1-2: every
+  formula of the appropriate logic is realised by a local algorithm of the
+  matching class, running for ``md(phi) + 1`` rounds.
+* :mod:`~repro.modal.algorithm_to_formula` -- Theorem 2, parts 3-4: every
+  finite-state local algorithm is captured by a formula whose modal depth is
+  the running time.
+* :mod:`~repro.modal.correspondence` -- round-trip equivalence checks used by
+  the tests and experiment E4.
+"""
+
+from repro.modal.encoding import (
+    KripkeVariant,
+    degree_proposition,
+    kripke_encoding,
+    signature_indices,
+    variant_for_class,
+)
+from repro.modal.formula_to_algorithm import FormulaAlgorithm, algorithm_for_formula
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.correspondence import algorithm_matches_formula, formula_output
+
+__all__ = [
+    "KripkeVariant",
+    "degree_proposition",
+    "kripke_encoding",
+    "signature_indices",
+    "variant_for_class",
+    "FormulaAlgorithm",
+    "algorithm_for_formula",
+    "formula_for_machine",
+    "algorithm_matches_formula",
+    "formula_output",
+]

@@ -1,0 +1,286 @@
+"""Compiling local algorithms into modal formulas (Theorem 2, parts 3-4).
+
+Given a finite-state local algorithm ``A`` (a :class:`~repro.machines.
+state_machine.FiniteStateMachine`) of one of the seven classes and its running
+time ``T``, this module constructs a formula ``psi`` of the matching logic
+such that for every graph ``G`` of maximum degree at most ``Delta`` and every
+port numbering ``p``, the extension of ``psi`` in the corresponding Kripke
+encoding of ``(G, p)`` equals the set of nodes on which ``A`` outputs 1.  The
+modal depth of ``psi`` equals ``T``, mirroring the paper's correspondence
+between running time and modal depth (Table 3).
+
+The construction follows Tables 4 and 5: formulas ``phi_{z,t}`` ("the local
+state at time ``t`` is ``z``"), ``theta_{m,j,t}`` ("the node sends ``m`` to
+port ``j`` in round ``t``") and diamond formulas describing the received
+messages are built by recursion on ``t``.  The received-message descriptions
+are enumerated explicitly (vectors, multisets or sets of messages, depending
+on the class), so the size of the output formula grows quickly with ``Delta``,
+``|M|`` and ``T`` -- exactly as in the paper, where the construction is
+syntactic rather than efficient.  Intended for small machines.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Diamond,
+    Formula,
+    GradedDiamond,
+    Not,
+    Prop,
+    Top,
+    conjunction,
+    disjunction,
+)
+from repro.machines.models import ProblemClass, ReceiveMode, SendMode
+from repro.machines.state_machine import FiniteStateMachine
+from repro.modal.encoding import STAR, degree_proposition
+
+
+def _degree_formula(degree: int, delta: int) -> Formula:
+    """The formula asserting that a node has the given degree."""
+    if degree >= 1:
+        return Prop(degree_proposition(degree))
+    return conjunction(Not(Prop(degree_proposition(k))) for k in range(1, delta + 1))
+
+
+def _sorted_messages(machine: FiniteStateMachine) -> list[Any]:
+    return sorted(machine.messages | {machine.no_message}, key=repr)
+
+
+# ---------------------------------------------------------------------- #
+# Received-message specifications
+#
+# A *spec* describes one possible way the messages of a single round can be
+# delivered to a node of degree d, at the level of detail visible to the
+# class.  Each spec yields (a) the padded message vector handed to delta and
+# (b) the modal condition formula asserting that exactly this spec occurred.
+# ---------------------------------------------------------------------- #
+
+
+def _vector_specs(messages: Sequence[Any], delta: int, degree: int) -> Iterator[tuple]:
+    """Specs for the Vector classes: one (message, sender out-port) pair per in-port."""
+    yield from itertools.product(
+        itertools.product(messages, range(1, delta + 1)), repeat=degree
+    )
+
+
+def _broadcast_vector_specs(messages: Sequence[Any], degree: int) -> Iterator[tuple]:
+    """Specs for VB: one message per in-port (no out-port information)."""
+    yield from itertools.product(messages, repeat=degree)
+
+
+def _profile_specs(cells: Sequence[Any], degree: int) -> Iterator[tuple]:
+    """Specs for the Multiset classes: a multiset of ``degree`` cells."""
+    yield from itertools.combinations_with_replacement(cells, degree)
+
+
+def _set_specs(cells: Sequence[Any], degree: int) -> Iterator[tuple]:
+    """Specs for the Set classes: a non-empty set of at most ``degree`` cells."""
+    if degree == 0:
+        yield ()
+        return
+    for size in range(1, degree + 1):
+        yield from itertools.combinations(cells, size)
+
+
+def _pad(real: list[Any], degree: int, delta: int, no_message: Any) -> tuple[Any, ...]:
+    """Extend the delivered messages to a padded vector of length ``delta``."""
+    if len(real) < degree:
+        # Set semantics: duplicate an arbitrary delivered message so that the
+        # vector has exactly ``degree`` real entries; a set-invariant delta
+        # cannot tell the difference.
+        filler = real[0] if real else no_message
+        real = real + [filler] * (degree - len(real))
+    return tuple(real) + (no_message,) * (delta - degree)
+
+
+# ---------------------------------------------------------------------- #
+# The main construction
+# ---------------------------------------------------------------------- #
+
+
+def formula_for_machine(
+    machine: FiniteStateMachine,
+    problem_class: ProblemClass,
+    running_time: int,
+    accepting_output: Any = 1,
+) -> Formula:
+    """The formula ``psi`` capturing the algorithm's output-1 set (Theorem 2).
+
+    Parameters
+    ----------
+    machine:
+        A finite-state machine that belongs to ``problem_class``'s algorithm
+        model (its ``delta`` must be invariant under the class's projection of
+        the received vector; this is assumed, not checked here -- see
+        :mod:`repro.machines.inspection`).
+    problem_class:
+        The class determining both the logic and the Kripke encoding.
+    running_time:
+        A round bound ``T`` by which the machine halts on every admissible
+        input; the resulting formula has modal depth ``T``.
+    accepting_output:
+        The local output whose indicator the formula defines (default 1).
+    """
+    if running_time < 0:
+        raise ValueError("running_time must be non-negative")
+    delta = machine.delta_bound
+    model = problem_class.model
+    messages = _sorted_messages(machine)
+    intermediate = sorted(machine.intermediate_states, key=repr)
+    stopping = sorted(machine.stopping_states, key=repr)
+    all_states = intermediate + stopping
+
+    # phi[(state, t)]: "the node is in this state at time t".
+    phi: dict[tuple[Any, int], Formula] = {}
+    for state in all_states:
+        matching_degrees = [
+            degree
+            for degree in range(0, delta + 1)
+            if machine.initial_states.get(degree) == state
+        ]
+        phi[(state, 0)] = disjunction(
+            _degree_formula(degree, delta) for degree in matching_degrees
+        )
+
+    def outgoing_message(state: Any, port: int) -> Any:
+        if state in machine.stopping_states:
+            return machine.no_message
+        return machine.message_table(state, port)
+
+    def theta(message: Any, port: int, time: int) -> Formula:
+        """``theta_{m,j,t}``: the node sends ``message`` to ``port`` in round ``time``."""
+        return disjunction(
+            phi[(state, time - 1)]
+            for state in all_states
+            if outgoing_message(state, port) == message
+        )
+
+    def next_state(state: Any, padded: tuple[Any, ...]) -> Any:
+        if state in machine.stopping_states:
+            return state
+        return machine.transition_table(state, padded)
+
+    def spec_condition_and_vector(
+        spec: tuple, degree: int, time: int
+    ) -> tuple[Formula, tuple[Any, ...]]:
+        """The condition formula and the padded vector described by ``spec``."""
+        receive, send = model.receive, model.send
+        if receive is ReceiveMode.VECTOR and send is SendMode.PORT:
+            condition = conjunction(
+                Diamond(theta(message, out_port, time), index=(in_port, out_port))
+                for in_port, (message, out_port) in enumerate(spec, start=1)
+            )
+            vector = _pad([message for message, _ in spec], degree, delta, machine.no_message)
+            return condition, vector
+        if receive is ReceiveMode.VECTOR and send is SendMode.BROADCAST:
+            condition = conjunction(
+                Diamond(theta(message, 1, time), index=(in_port, STAR))
+                for in_port, message in enumerate(spec, start=1)
+            )
+            vector = _pad(list(spec), degree, delta, machine.no_message)
+            return condition, vector
+        if receive is ReceiveMode.MULTISET and send is SendMode.PORT:
+            counts: dict[tuple[Any, int], int] = {}
+            for cell in spec:
+                counts[cell] = counts.get(cell, 0) + 1
+            condition = conjunction(
+                GradedDiamond(theta(message, out_port, time), grade=count, index=(STAR, out_port))
+                for (message, out_port), count in sorted(counts.items(), key=repr)
+            )
+            vector = _pad([message for message, _ in spec], degree, delta, machine.no_message)
+            return condition, vector
+        if receive is ReceiveMode.MULTISET and send is SendMode.BROADCAST:
+            message_counts: dict[Any, int] = {}
+            for message in spec:
+                message_counts[message] = message_counts.get(message, 0) + 1
+            condition = conjunction(
+                GradedDiamond(theta(message, 1, time), grade=count, index=(STAR, STAR))
+                for message, count in sorted(message_counts.items(), key=repr)
+            )
+            vector = _pad(list(spec), degree, delta, machine.no_message)
+            return condition, vector
+        if receive is ReceiveMode.SET and send is SendMode.PORT:
+            present = set(spec)
+            absent = [
+                cell
+                for cell in itertools.product(messages, range(1, delta + 1))
+                if cell not in present
+            ]
+            condition = conjunction(
+                itertools.chain(
+                    (
+                        Diamond(theta(message, out_port, time), index=(STAR, out_port))
+                        for message, out_port in sorted(present, key=repr)
+                    ),
+                    (
+                        Not(Diamond(theta(message, out_port, time), index=(STAR, out_port)))
+                        for message, out_port in absent
+                    ),
+                )
+            )
+            vector = _pad([message for message, _ in spec], degree, delta, machine.no_message)
+            return condition, vector
+        # Set receive, broadcast send (SB).
+        present_messages = set(spec)
+        absent_messages = [message for message in messages if message not in present_messages]
+        condition = conjunction(
+            itertools.chain(
+                (
+                    Diamond(theta(message, 1, time), index=(STAR, STAR))
+                    for message in sorted(present_messages, key=repr)
+                ),
+                (
+                    Not(Diamond(theta(message, 1, time), index=(STAR, STAR)))
+                    for message in absent_messages
+                ),
+            )
+        )
+        vector = _pad(list(spec), degree, delta, machine.no_message)
+        return condition, vector
+
+    def specs_for_degree(degree: int) -> Iterator[tuple]:
+        receive, send = model.receive, model.send
+        if receive is ReceiveMode.VECTOR and send is SendMode.PORT:
+            return _vector_specs(messages, delta, degree)
+        if receive is ReceiveMode.VECTOR and send is SendMode.BROADCAST:
+            return _broadcast_vector_specs(messages, degree)
+        if receive is ReceiveMode.MULTISET and send is SendMode.PORT:
+            cells = list(itertools.product(messages, range(1, delta + 1)))
+            return _profile_specs(cells, degree)
+        if receive is ReceiveMode.MULTISET and send is SendMode.BROADCAST:
+            return _profile_specs(messages, degree)
+        if receive is ReceiveMode.SET and send is SendMode.PORT:
+            cells = list(itertools.product(messages, range(1, delta + 1)))
+            return _set_specs(cells, degree)
+        return _set_specs(messages, degree)
+
+    # Build phi for t = 1..T.
+    for time in range(1, running_time + 1):
+        accumulator: dict[Any, list[Formula]] = {state: [] for state in all_states}
+        # A halted node stays halted, no matter what it receives.
+        for state in stopping:
+            accumulator[state].append(phi[(state, time - 1)])
+        for state in intermediate:
+            for degree in range(0, delta + 1):
+                degree_guard = _degree_formula(degree, delta)
+                for spec in specs_for_degree(degree):
+                    condition, vector = spec_condition_and_vector(spec, degree, time)
+                    successor = next_state(state, vector)
+                    accumulator[successor].append(
+                        And(And(degree_guard, phi[(state, time - 1)]), condition)
+                    )
+        for state in all_states:
+            phi[(state, time)] = disjunction(accumulator[state])
+
+    return disjunction(
+        phi[(state, running_time)]
+        for state in stopping
+        if machine.output_map(state) == accepting_output
+    )

@@ -1,0 +1,100 @@
+"""Round-trip checks between algorithms and formulas (Theorem 2).
+
+The capture theorems assert two inclusions for every class: a formula can be
+realised by an algorithm and an algorithm can be captured by a formula.  This
+module provides the machinery to *check* such correspondences on concrete
+graph families: evaluate a formula in the class's Kripke encoding, run an
+algorithm under the adversarial port numberings, and compare.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.execution.adversary import port_numberings_to_check
+from repro.execution.runner import run
+from repro.graphs.graph import Graph, Node
+from repro.graphs.ports import PortNumbering
+from repro.logic.semantics import extension
+from repro.logic.syntax import Formula
+from repro.machines.algorithm import Algorithm
+from repro.machines.models import ProblemClass
+from repro.modal.encoding import kripke_encoding, variant_for_class
+
+
+def formula_output(
+    graph: Graph,
+    numbering: PortNumbering,
+    formula: Formula,
+    problem_class: ProblemClass,
+    delta: int | None = None,
+) -> dict[Node, int]:
+    """The 0/1 labelling ``||formula||`` in the class's encoding of ``(G, p)``."""
+    model = kripke_encoding(
+        graph, numbering, variant=variant_for_class(problem_class), delta=delta
+    )
+    truth = extension(model, formula)
+    return {node: 1 if node in truth else 0 for node in graph.nodes}
+
+
+def algorithm_matches_formula(
+    algorithm: Algorithm,
+    formula: Formula,
+    problem_class: ProblemClass,
+    graphs: Iterable[Graph],
+    delta: int | None = None,
+    exhaustive_limit: int = 500,
+    samples: int = 20,
+    max_rounds: int = 10_000,
+) -> bool:
+    """Whether the algorithm and the formula agree on every tested input.
+
+    For each graph and each adversarial port numbering (consistent only when
+    the class is VVc), the algorithm's output vector is compared against the
+    extension of the formula in the matching Kripke encoding.  Outputs other
+    than 0/1 are compared against membership: output 1 must coincide with
+    truth.
+    """
+    for graph in graphs:
+        for numbering in port_numberings_to_check(
+            graph,
+            consistent_only=problem_class.requires_consistency,
+            exhaustive_limit=exhaustive_limit,
+            samples=samples,
+        ):
+            expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
+            result = run(algorithm, graph, numbering, max_rounds=max_rounds)
+            actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
+            if actual != expected:
+                return False
+    return True
+
+
+def disagreement_witness(
+    algorithm: Algorithm,
+    formula: Formula,
+    problem_class: ProblemClass,
+    graphs: Iterable[Graph],
+    delta: int | None = None,
+    exhaustive_limit: int = 500,
+    samples: int = 20,
+) -> tuple[Graph, PortNumbering, dict[Node, int], dict[Node, int]] | None:
+    """The first input on which algorithm and formula disagree, or ``None``.
+
+    Useful for debugging compiled algorithms/formulas: returns the graph, the
+    port numbering, the formula's labelling and the algorithm's labelling.
+    """
+    for graph in graphs:
+        for numbering in port_numberings_to_check(
+            graph,
+            consistent_only=problem_class.requires_consistency,
+            exhaustive_limit=exhaustive_limit,
+            samples=samples,
+        ):
+            expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
+            result = run(algorithm, graph, numbering)
+            actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
+            if actual != expected:
+                return graph, numbering, expected, actual
+    return None

@@ -1,0 +1,162 @@
+"""Kripke encodings of port-numbered graphs (Section 4.3).
+
+Given a graph ``G`` and a port numbering ``p``, the paper defines accessibility
+relations
+
+* ``R(i, j) = {(u, v) : p((v, j)) = (u, i)}`` -- ``v`` sends through its output
+  port ``j`` and the message arrives at input port ``i`` of ``u``;
+* ``R(i, *)``, ``R(*, j)``, ``R(*, *)`` -- unions hiding the output-port or the
+  input-port component.
+
+Four Kripke models are built from these relations, one per amount of port
+information available to a model:
+
+==========  =====================  ================================
+Variant     Indices                Captured classes (Theorem 2)
+==========  =====================  ================================
+``K++``     ``[Δ] x [Δ]``          VVc(1), VV(1)  (MML)
+``K-+``     ``{*} x [Δ]``          MV(1) (GMML), SV(1) (MML)
+``K+-``     ``[Δ] x {*}``          VB(1) (MML)
+``K--``     ``{(*, *)}``           MB(1) (GML), SB(1) (ML)
+==========  =====================  ================================
+
+The valuation assigns to each node the proposition ``deg<k>`` for its degree
+``k`` (the paper's ``q_k``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.ports import PortNumbering, consistent_port_numbering
+from repro.logic.kripke import KripkeModel
+from repro.machines.models import ProblemClass
+
+#: The wildcard component of a relation index.
+STAR = "*"
+
+
+class KripkeVariant(enum.Enum):
+    """The four encodings of Section 4.3."""
+
+    FULL = "++"
+    NO_INPUT_PORTS = "-+"
+    NO_OUTPUT_PORTS = "+-"
+    NEITHER = "--"
+
+    @property
+    def sees_input_ports(self) -> bool:
+        return self in (KripkeVariant.FULL, KripkeVariant.NO_OUTPUT_PORTS)
+
+    @property
+    def sees_output_ports(self) -> bool:
+        return self in (KripkeVariant.FULL, KripkeVariant.NO_INPUT_PORTS)
+
+
+#: Which encoding captures which problem class (Theorem 2).
+_CLASS_TO_VARIANT: dict[ProblemClass, KripkeVariant] = {
+    ProblemClass.VVC: KripkeVariant.FULL,
+    ProblemClass.VV: KripkeVariant.FULL,
+    ProblemClass.MV: KripkeVariant.NO_INPUT_PORTS,
+    ProblemClass.SV: KripkeVariant.NO_INPUT_PORTS,
+    ProblemClass.VB: KripkeVariant.NO_OUTPUT_PORTS,
+    ProblemClass.MB: KripkeVariant.NEITHER,
+    ProblemClass.SB: KripkeVariant.NEITHER,
+}
+
+
+def variant_for_class(problem_class: ProblemClass) -> KripkeVariant:
+    """The Kripke encoding on which the given class is captured (Theorem 2)."""
+    return _CLASS_TO_VARIANT[problem_class]
+
+
+def degree_proposition(degree: int) -> str:
+    """The proposition symbol ``q_degree`` asserting that a node has this degree."""
+    return f"deg{degree}"
+
+
+def input_proposition(value: object) -> str:
+    """The proposition symbol asserting that a node carries local input ``value``.
+
+    Section 3.4 extends the framework to labelled graphs ``(V, E, f)``; the
+    natural Kripke encoding simply adds one proposition per input value.
+    """
+    return f"in_{value}"
+
+
+def signature_indices(variant: KripkeVariant, delta: int) -> frozenset:
+    """The modality index set ``I^Delta_{a,b}`` of the encoding."""
+    ports = range(1, delta + 1)
+    if variant is KripkeVariant.FULL:
+        return frozenset((i, j) for i in ports for j in ports)
+    if variant is KripkeVariant.NO_INPUT_PORTS:
+        return frozenset((STAR, j) for j in ports)
+    if variant is KripkeVariant.NO_OUTPUT_PORTS:
+        return frozenset((i, STAR) for i in ports)
+    return frozenset({(STAR, STAR)})
+
+
+def kripke_encoding(
+    graph: Graph,
+    numbering: PortNumbering | None = None,
+    variant: KripkeVariant = KripkeVariant.FULL,
+    delta: int | None = None,
+    inputs: dict[Node, object] | None = None,
+) -> KripkeModel:
+    """The Kripke model ``K_{a,b}(G, p)`` of the given variant.
+
+    The worlds are the nodes of the graph; the relations are the ``R`` indexed
+    families listed in the module docstring; the valuation marks each node
+    with its degree proposition.  ``delta`` defaults to the maximum degree of
+    the graph and controls which indices appear (indices whose relation is
+    empty are still present, as in the paper's signature ``I^Delta_{a,b}``).
+
+    When ``inputs`` is given (labelled graphs, Section 3.4), each node is
+    additionally marked with :func:`input_proposition` of its local input.
+    """
+    if numbering is None:
+        numbering = consistent_port_numbering(graph)
+    elif numbering.graph != graph:
+        raise ValueError("the port numbering belongs to a different graph")
+    if delta is None:
+        delta = graph.max_degree()
+
+    # Base relations R(i, j): v --(out-port j)--> u's in-port i gives (u, v).
+    base: dict[tuple[int, int], list[tuple[Node, Node]]] = {
+        (i, j): [] for i in range(1, delta + 1) for j in range(1, delta + 1)
+    }
+    for v in graph.nodes:
+        for j in range(1, graph.degree(v) + 1):
+            u, i = numbering.apply(v, j)
+            base[(i, j)].append((u, v))
+
+    relations: dict[tuple, list[tuple[Node, Node]]] = {}
+    if variant is KripkeVariant.FULL:
+        relations = {index: pairs for index, pairs in base.items()}
+    elif variant is KripkeVariant.NO_INPUT_PORTS:
+        for j in range(1, delta + 1):
+            merged: list[tuple[Node, Node]] = []
+            for i in range(1, delta + 1):
+                merged.extend(base[(i, j)])
+            relations[(STAR, j)] = merged
+    elif variant is KripkeVariant.NO_OUTPUT_PORTS:
+        for i in range(1, delta + 1):
+            merged = []
+            for j in range(1, delta + 1):
+                merged.extend(base[(i, j)])
+            relations[(i, STAR)] = merged
+    else:
+        merged = []
+        for pairs in base.values():
+            merged.extend(pairs)
+        relations[(STAR, STAR)] = merged
+
+    valuation: dict[str, list[Node]] = {
+        degree_proposition(k): [node for node in graph.nodes if graph.degree(node) == k]
+        for k in range(1, delta + 1)
+    }
+    if inputs is not None:
+        for node, value in inputs.items():
+            valuation.setdefault(input_proposition(value), []).append(node)
+    return KripkeModel(graph.nodes, relations, valuation)

@@ -1,0 +1,343 @@
+"""Compiling modal formulas into local algorithms (Theorem 2, parts 1-2).
+
+Given a formula ``psi`` in the logic matching a problem class, the compiled
+algorithm evaluates ``psi`` at every node of any port-numbered graph and
+outputs 1 exactly on the extension ``||psi||`` of the formula in the
+corresponding Kripke encoding.  The algorithm follows the paper's
+construction: every node maintains a three-valued assignment (true / false /
+undefined) to the subformulas of ``psi``, resolves subformulas of modal depth
+``t`` in round ``t``, exchanges the truth values needed by its neighbours'
+modal subformulas, and halts once the value of ``psi`` itself is known -- so
+the running time is at most ``md(psi) + 1`` rounds and the algorithm is local.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    Formula,
+    GradedDiamond,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    Top,
+    modal_depth,
+)
+from repro.machines.algorithm import NO_MESSAGE, Algorithm, Output
+from repro.machines.models import Model, ProblemClass, ReceiveMode, SendMode
+from repro.machines.multiset import FrozenMultiset
+from repro.modal.encoding import STAR, degree_proposition
+
+#: The three-valued "undefined" marker of the paper's construction.
+UNDEFINED = "U"
+
+
+def _normalise(formula: Formula) -> Formula:
+    """Rewrite boxes and implications into the And/Or/Not/Diamond core."""
+    if isinstance(formula, (Prop, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(_normalise(formula.operand))
+    if isinstance(formula, And):
+        return And(_normalise(formula.left), _normalise(formula.right))
+    if isinstance(formula, Or):
+        return Or(_normalise(formula.left), _normalise(formula.right))
+    if isinstance(formula, Implies):
+        return Or(Not(_normalise(formula.left)), _normalise(formula.right))
+    if isinstance(formula, Diamond):
+        return Diamond(_normalise(formula.operand), index=formula.index)
+    if isinstance(formula, GradedDiamond):
+        return GradedDiamond(_normalise(formula.operand), grade=formula.grade, index=formula.index)
+    if isinstance(formula, Box):
+        return Not(Diamond(Not(_normalise(formula.operand)), index=formula.index))
+    raise TypeError(f"unknown formula type: {formula!r}")
+
+
+def _ordered_subformulas(formula: Formula) -> list[Formula]:
+    """All subformulas, children before parents (deterministic order)."""
+    ordered: list[Formula] = []
+    seen: set[Formula] = set()
+
+    def visit(phi: Formula) -> None:
+        if phi in seen:
+            return
+        if isinstance(phi, Not):
+            visit(phi.operand)
+        elif isinstance(phi, (And, Or)):
+            visit(phi.left)
+            visit(phi.right)
+        elif isinstance(phi, (Diamond, GradedDiamond)):
+            visit(phi.operand)
+        seen.add(phi)
+        ordered.append(phi)
+
+    visit(formula)
+    return ordered
+
+
+class FormulaAlgorithm(Algorithm):
+    """The local algorithm realising a modal formula in a given problem class.
+
+    Parameters
+    ----------
+    formula:
+        The formula to evaluate.  Its modality indices must match the class:
+        pairs ``(i, j)`` for VV/VVc, ``('*', j)`` for MV/SV, ``(i, '*')`` for
+        VB, and ``('*', '*')`` (or ``None``) for MB/SB.  Graded diamonds are
+        only meaningful for the Multiset classes (MV, MB) -- and for the
+        port-aware classes where each relation has at most one successor; they
+        are rejected for SV and SB, whose algorithms cannot count.
+    problem_class:
+        The problem class whose model the algorithm must belong to.
+    """
+
+    model: ClassVar[Model]  # set per instance below
+
+    def __init__(self, formula: Formula, problem_class: ProblemClass) -> None:
+        self._original = formula
+        self._formula = _normalise(formula)
+        self._class = problem_class
+        self.model = problem_class.model
+        self._subformulas = _ordered_subformulas(self._formula)
+        self._position = {phi: index for index, phi in enumerate(self._subformulas)}
+        self._modal = [
+            phi for phi in self._subformulas if isinstance(phi, (Diamond, GradedDiamond))
+        ]
+        # Positions (in the payload) of the operands whose truth values are shipped.
+        operand_positions: list[int] = []
+        for phi in self._modal:
+            position = self._position[phi.operand]
+            if position not in operand_positions:
+                operand_positions.append(position)
+        self._payload_positions = tuple(operand_positions)
+        self._payload_slot = {position: slot for slot, position in enumerate(self._payload_positions)}
+        self._validate_indices()
+
+    # ------------------------------------------------------------------ #
+    # Public metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return f"FormulaAlgorithm[{self._class}]({self._original})"
+
+    @property
+    def formula(self) -> Formula:
+        return self._original
+
+    @property
+    def problem_class(self) -> ProblemClass:
+        return self._class
+
+    @property
+    def running_time_bound(self) -> int:
+        """The guaranteed bound ``md(psi) + 1`` on the number of rounds."""
+        return modal_depth(self._formula) + 1
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def _validate_indices(self) -> None:
+        sees_in = self._class.model.receive is ReceiveMode.VECTOR
+        sees_out = self._class.model.send is SendMode.PORT
+        for phi in self._modal:
+            index = phi.index
+            if index is None:
+                index = (STAR, STAR)
+            if not (isinstance(index, tuple) and len(index) == 2):
+                raise ValueError(f"modality index {phi.index!r} must be a pair (i, j)")
+            in_part, out_part = index
+            if sees_in and in_part == STAR and self._class not in (
+                ProblemClass.MV,
+                ProblemClass.SV,
+            ):
+                raise ValueError(
+                    f"class {self._class} formulas must name the input port, got {phi.index!r}"
+                )
+            if not sees_in and in_part != STAR:
+                raise ValueError(
+                    f"class {self._class} has no input-port information, got index {phi.index!r}"
+                )
+            if not sees_out and out_part != STAR:
+                raise ValueError(
+                    f"class {self._class} has no output-port information, got index {phi.index!r}"
+                )
+            if sees_out and out_part == STAR:
+                raise ValueError(
+                    f"class {self._class} formulas must name the output port, got {phi.index!r}"
+                )
+            if (
+                isinstance(phi, GradedDiamond)
+                and phi.grade > 1
+                and self._class in (ProblemClass.SV, ProblemClass.SB)
+            ):
+                raise ValueError(
+                    f"class {self._class} algorithms cannot count; graded diamond {phi} is not allowed"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Three-valued evaluation helpers
+    # ------------------------------------------------------------------ #
+
+    def _boolean_fixpoint(self, values: list[Any], degree: int) -> None:
+        """Resolve propositional structure as far as possible, in place."""
+        changed = True
+        while changed:
+            changed = False
+            for position, phi in enumerate(self._subformulas):
+                if values[position] != UNDEFINED:
+                    continue
+                new_value: Any = UNDEFINED
+                if isinstance(phi, Prop):
+                    new_value = 1 if phi.name == degree_proposition(degree) else 0
+                elif isinstance(phi, Top):
+                    new_value = 1
+                elif isinstance(phi, Bottom):
+                    new_value = 0
+                elif isinstance(phi, Not):
+                    child = values[self._position[phi.operand]]
+                    if child != UNDEFINED:
+                        new_value = 1 - child
+                elif isinstance(phi, And):
+                    left = values[self._position[phi.left]]
+                    right = values[self._position[phi.right]]
+                    if 0 in (left, right):
+                        new_value = 0
+                    elif left == 1 and right == 1:
+                        new_value = 1
+                elif isinstance(phi, Or):
+                    left = values[self._position[phi.left]]
+                    right = values[self._position[phi.right]]
+                    if 1 in (left, right):
+                        new_value = 1
+                    elif left == 0 and right == 0:
+                        new_value = 0
+                if new_value != UNDEFINED:
+                    values[position] = new_value
+                    changed = True
+
+    def _state(self, degree: int, values: list[Any]) -> Any:
+        # A node halts only once *every* subformula is resolved (which happens
+        # at round md(psi) for every node simultaneously).  Halting as soon as
+        # the root value is known would be premature: a halted node sends
+        # ``m0``, yet its neighbours may still need their values of deeper
+        # subformulas in later rounds.
+        if all(value != UNDEFINED for value in values):
+            return Output(values[self._position[self._formula]])
+        return (degree, tuple(values))
+
+    # ------------------------------------------------------------------ #
+    # Algorithm interface
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, degree: int) -> Any:
+        values: list[Any] = [UNDEFINED] * len(self._subformulas)
+        self._boolean_fixpoint(values, degree)
+        return self._state(degree, values)
+
+    def _payload(self, values: tuple[Any, ...]) -> tuple[Any, ...]:
+        return tuple(values[position] for position in self._payload_positions)
+
+    def send(self, state: Any, port: int) -> Any:
+        degree, values = state
+        if self.model.send is SendMode.BROADCAST:
+            return self._payload(values)
+        return (port, self._payload(values))
+
+    def broadcast(self, state: Any) -> Any:
+        _degree, values = state
+        return self._payload(values)
+
+    def _payload_value(self, message: Any, operand_position: int) -> Any:
+        """Read the operand's truth value out of a received payload."""
+        if message == NO_MESSAGE or message is None:
+            return 0
+        payload = message
+        if self.model.send is SendMode.PORT:
+            _port, payload = message
+        slot = self._payload_slot[operand_position]
+        return payload[slot]
+
+    def _message_out_port(self, message: Any) -> int | None:
+        if message == NO_MESSAGE or message is None:
+            return None
+        if self.model.send is SendMode.PORT:
+            return message[0]
+        return None
+
+    def _resolve_modal(self, phi: Formula, degree: int, previous: tuple[Any, ...], received: Any) -> Any:
+        # The gate uses the *previous* state: a modal subformula may only be
+        # resolved once its operand was already known in the previous round,
+        # because the received payloads carry the senders' previous-round
+        # values (this is the paper's condition "f(theta) != U").
+        operand_position = self._position[phi.operand]
+        if previous[operand_position] == UNDEFINED:
+            return UNDEFINED
+        grade = phi.grade if isinstance(phi, GradedDiamond) else 1
+        index = phi.index if phi.index is not None else (STAR, STAR)
+        in_part, out_part = index
+
+        def operand_true(message: Any) -> bool:
+            return self._payload_value(message, operand_position) == 1
+
+        receive = self.model.receive
+        if receive is ReceiveMode.VECTOR:
+            # received is the vector of messages indexed by input port.
+            if in_part == STAR:
+                candidates = list(received)
+            else:
+                if in_part > degree:
+                    return 1 if grade == 0 else 0
+                candidates = [received[in_part - 1]]
+            count = 0
+            for message in candidates:
+                if message == NO_MESSAGE:
+                    continue
+                if out_part != STAR and self._message_out_port(message) != out_part:
+                    continue
+                if operand_true(message):
+                    count += 1
+            return 1 if count >= grade else 0
+        if receive is ReceiveMode.MULTISET:
+            count = 0
+            for message, multiplicity in received.counts().items():
+                if message == NO_MESSAGE:
+                    continue
+                if out_part != STAR and self._message_out_port(message) != out_part:
+                    continue
+                if operand_true(message):
+                    count += multiplicity
+            return 1 if count >= grade else 0
+        # Set semantics: existence only.
+        exists = any(
+            message != NO_MESSAGE
+            and (out_part == STAR or self._message_out_port(message) == out_part)
+            and operand_true(message)
+            for message in received
+        )
+        if grade == 0:
+            return 1
+        return 1 if exists else 0
+
+    def transition(self, state: Any, received: Any) -> Any:
+        degree, previous = state
+        values = list(previous)
+        for phi in self._modal:
+            position = self._position[phi]
+            if values[position] != UNDEFINED:
+                continue
+            values[position] = self._resolve_modal(phi, degree, previous, received)
+        self._boolean_fixpoint(values, degree)
+        return self._state(degree, values)
+
+
+def algorithm_for_formula(formula: Formula, problem_class: ProblemClass) -> FormulaAlgorithm:
+    """Convenience constructor for :class:`FormulaAlgorithm`."""
+    return FormulaAlgorithm(formula, problem_class)

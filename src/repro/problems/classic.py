@@ -1,0 +1,129 @@
+"""Classical graph problems used as motivation in Sections 1.4 and 3.
+
+All problems are phrased as validity predicates on node labellings, following
+the paper's conventions:
+
+* *subset problems* label nodes with 0/1 (maximal independent set, vertex
+  cover, dominating set);
+* *partition problems* label nodes with colours (vertex colouring);
+* *decision problems* follow the accept/reject convention: every node accepts
+  a yes-instance, at least one node rejects a no-instance (Eulerian decision).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.matching import is_vertex_cover, minimum_vertex_cover
+from repro.problems.base import GraphProblem
+
+
+class MaximalIndependentSet(GraphProblem):
+    """Label an independent set that cannot be extended (Section 1.4)."""
+
+    outputs = (0, 1)
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        chosen = {node for node, value in assignment.items() if value == 1}
+        # Independence.
+        for u, v in graph.edges:
+            if u in chosen and v in chosen:
+                return False
+        # Maximality: every unchosen node has a chosen neighbour.
+        for node in graph.nodes:
+            if node not in chosen and not any(
+                neighbour in chosen for neighbour in graph.neighbors(node)
+            ):
+                return False
+        return True
+
+
+class VertexColouring(GraphProblem):
+    """Proper vertex colouring with a fixed palette (Section 1.4 uses 3 colours)."""
+
+    def __init__(self, colours: int = 3) -> None:
+        if colours < 1:
+            raise ValueError("at least one colour is needed")
+        self._colours = colours
+        self.outputs = tuple(range(1, colours + 1))
+
+    @property
+    def name(self) -> str:
+        return f"VertexColouring({self._colours})"
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        if not all(assignment.get(node) in self.outputs for node in graph.nodes):
+            return False
+        return all(assignment[u] != assignment[v] for u, v in graph.edges)
+
+
+class EulerianDecision(GraphProblem):
+    """Decide whether the graph is Eulerian (Section 1.4's decision example).
+
+    On a yes-instance the unique admissible solution labels every node 1; on a
+    no-instance any labelling with at least one 0 is admissible.
+    """
+
+    outputs = (0, 1)
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        if graph.is_eulerian():
+            return all(assignment.get(node) == 1 for node in graph.nodes)
+        return any(assignment.get(node) == 0 for node in graph.nodes)
+
+
+class VertexCover(GraphProblem):
+    """Vertex cover, optionally with an approximation guarantee (Section 3.3).
+
+    With ``approximation_ratio=None`` any cover is admissible; otherwise the
+    cover must also be within the given factor of a minimum cover (computed
+    exactly, so use small graphs when a ratio is requested).
+    """
+
+    outputs = (0, 1)
+
+    def __init__(self, approximation_ratio: float | None = None) -> None:
+        if approximation_ratio is not None and approximation_ratio < 1:
+            raise ValueError("an approximation ratio must be at least 1")
+        self._ratio = approximation_ratio
+
+    @property
+    def name(self) -> str:
+        if self._ratio is None:
+            return "VertexCover"
+        return f"VertexCover(ratio={self._ratio})"
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        cover = {node for node, value in assignment.items() if value == 1}
+        if not is_vertex_cover(graph, cover):
+            return False
+        if self._ratio is None:
+            return True
+        optimum = len(minimum_vertex_cover(graph))
+        if optimum == 0:
+            return len(cover) == 0
+        return len(cover) <= self._ratio * optimum
+
+
+class DominatingSet(GraphProblem):
+    """Dominating set: every node is chosen or has a chosen neighbour."""
+
+    outputs = (0, 1)
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        chosen = {node for node, value in assignment.items() if value == 1}
+        return all(
+            node in chosen or any(neighbour in chosen for neighbour in graph.neighbors(node))
+            for node in graph.nodes
+        )
+
+
+class DegreeLabelling(GraphProblem):
+    """Every node outputs its own degree (a trivially local problem)."""
+
+    def __init__(self, max_degree: int = 16) -> None:
+        self.outputs = tuple(range(max_degree + 1))
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        return all(assignment.get(node) == graph.degree(node) for node in graph.nodes)

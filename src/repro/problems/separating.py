@@ -1,0 +1,104 @@
+"""The three separating problems of Section 5.3.
+
+Each problem is deliberately "easy" in one class and impossible in the class
+below it:
+
+* :class:`LeafElectionInStars` (Theorem 11) -- in SV(1) but not in VB;
+* :class:`OddOddNeighbours` (Theorem 13) -- in MB(1) but not in SB;
+* :class:`SymmetryBreakingInMatchlessRegular` (Theorem 17) -- in VVc(1) but
+  not in VV.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.matching import has_perfect_matching
+from repro.problems.base import GraphProblem
+
+
+def is_star(graph: Graph) -> tuple[Node, tuple[Node, ...]] | None:
+    """If the graph is a ``k``-star with ``k > 1``, return ``(centre, leaves)``."""
+    n = graph.number_of_nodes
+    if n < 3:
+        return None
+    centres = [node for node in graph.nodes if graph.degree(node) == n - 1]
+    if len(centres) != 1:
+        return None
+    centre = centres[0]
+    leaves = tuple(node for node in graph.nodes if node != centre)
+    if any(graph.degree(leaf) != 1 for leaf in leaves):
+        return None
+    return centre, leaves
+
+
+class LeafElectionInStars(GraphProblem):
+    """Select exactly one leaf of a star (Theorem 11).
+
+    On a ``k``-star with ``k > 1`` the centre must output 0 and exactly one
+    leaf must output 1; on every other graph any 0/1 labelling is admissible.
+    """
+
+    outputs = (0, 1)
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        star = is_star(graph)
+        if star is None:
+            return all(assignment.get(node) in (0, 1) for node in graph.nodes)
+        centre, leaves = star
+        if assignment.get(centre) != 0:
+            return False
+        selected = [leaf for leaf in leaves if assignment.get(leaf) == 1]
+        others_zero = all(assignment.get(leaf) in (0, 1) for leaf in leaves)
+        return len(selected) == 1 and others_zero
+
+
+class OddOddNeighbours(GraphProblem):
+    """Output 1 exactly at nodes with an odd number of odd-degree neighbours (Theorem 13)."""
+
+    outputs = (0, 1)
+
+    @staticmethod
+    def expected_output(graph: Graph, node: Node) -> int:
+        odd_neighbours = sum(1 for neighbour in graph.neighbors(node) if graph.degree(neighbour) % 2 == 1)
+        return odd_neighbours % 2
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        return all(
+            assignment.get(node) == self.expected_output(graph, node) for node in graph.nodes
+        )
+
+
+def in_matchless_family(graph: Graph) -> bool:
+    """Whether the graph belongs to the family ``G`` of Theorem 17.
+
+    ``G`` consists of the connected ``k``-regular graphs of odd degree ``k``
+    that have no perfect matching (no 1-factor).
+    """
+    if not graph.nodes or not graph.is_connected():
+        return False
+    if not graph.is_regular():
+        return False
+    degree = graph.degree(graph.nodes[0])
+    if degree % 2 == 0:
+        return False
+    return not has_perfect_matching(graph)
+
+
+class SymmetryBreakingInMatchlessRegular(GraphProblem):
+    """Produce a non-constant labelling on matchless odd-regular graphs (Theorem 17).
+
+    On graphs in the family ``G`` the labelling must take both values 0 and 1;
+    on every other graph any 0/1 labelling is admissible.
+    """
+
+    outputs = (0, 1)
+
+    def is_solution(self, graph: Graph, assignment: dict[Node, Any]) -> bool:
+        if not all(assignment.get(node) in (0, 1) for node in graph.nodes):
+            return False
+        if not in_matchless_family(graph):
+            return True
+        values = {assignment[node] for node in graph.nodes}
+        return values == {0, 1}

@@ -1,0 +1,22 @@
+"""The three separation arguments of Section 5.3 as checkable evidence.
+
+Each module builds a :class:`~repro.core.classification.SeparationEvidence`
+whose ``verify()`` replays Corollary 3 on the witness graph:
+
+* :mod:`~repro.separations.star` -- Theorem 11, ``VB ⊊ SV``.
+* :mod:`~repro.separations.odd_odd` -- Theorem 13, ``SB ⊊ MB``.
+* :mod:`~repro.separations.matchless` -- Theorem 17, ``VV ⊊ VVc``
+  (with Lemmas 15 and 16 as supporting constructions).
+"""
+
+from repro.separations.star import star_separation
+from repro.separations.odd_odd import odd_odd_separation
+from repro.separations.matchless import matchless_separation
+from repro.separations.witnesses import all_separations
+
+__all__ = [
+    "star_separation",
+    "odd_odd_separation",
+    "matchless_separation",
+    "all_separations",
+]

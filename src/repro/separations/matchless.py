@@ -1,0 +1,40 @@
+"""Theorem 17 (with Lemmas 15 and 16): symmetry breaking separates VV from VVc.
+
+On a connected odd-regular graph without a perfect matching (Figure 9), a
+consistent port numbering always yields at least two distinct local types, so
+the two-round local-type algorithm produces a non-constant output -- the
+problem is in VVc(1).  Lemma 15, on the other hand, constructs an
+*inconsistent* port numbering (from a 1-factorisation of the bipartite double
+cover) under which *all* nodes are bisimilar in ``K+,+``, so by Corollary 3(a)
+no Vector algorithm can solve the problem under arbitrary port numberings.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.local_types import LocalTypeSymmetryBreaking
+from repro.core.classification import SeparationEvidence
+from repro.graphs.covers import symmetric_port_numbering
+from repro.graphs.generators import figure9_graph
+from repro.graphs.graph import Graph
+from repro.machines.models import ProblemClass
+from repro.problems.separating import SymmetryBreakingInMatchlessRegular
+
+
+def matchless_separation(graph: Graph | None = None) -> SeparationEvidence:
+    """The evidence object for ``VV ⊊ VVc`` on a matchless odd-regular graph.
+
+    By default the witness is the Figure 9 graph; any connected odd-regular
+    graph without a perfect matching works.
+    """
+    witness = graph if graph is not None else figure9_graph()
+    problem = SymmetryBreakingInMatchlessRegular()
+    return SeparationEvidence(
+        smaller=ProblemClass.VV,
+        larger=ProblemClass.VVC,
+        problem_name="symmetry breaking in matchless odd-regular graphs (Theorem 17)",
+        solver=LocalTypeSymmetryBreaking(),
+        witness_graph=witness,
+        witness_nodes=tuple(witness.nodes),
+        is_valid_solution=problem.is_solution,
+        numbering=symmetric_port_numbering(witness),
+    )

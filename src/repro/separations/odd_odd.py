@@ -1,0 +1,32 @@
+"""Theorem 13: the odd-odd-neighbours problem separates SB from MB.
+
+Counting the odd-degree neighbours is a one-round MB algorithm.  In the
+``K-,-`` encoding (which does not depend on the port numbering at all) the two
+distinguished nodes of the witness graph are bisimilar, yet the problem's
+unique solution gives them different outputs, so by Corollary 3(c) the problem
+is not in SB.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.parity import OddOddNeighboursAlgorithm
+from repro.core.classification import SeparationEvidence
+from repro.graphs.generators import odd_odd_gadget_pair
+from repro.machines.models import ProblemClass
+from repro.problems.separating import OddOddNeighbours
+
+
+def odd_odd_separation() -> SeparationEvidence:
+    """The evidence object for ``SB ⊊ MB`` on the gadget pair of Theorem 13."""
+    graph, first_witness, second_witness = odd_odd_gadget_pair()
+    problem = OddOddNeighbours()
+    return SeparationEvidence(
+        smaller=ProblemClass.SB,
+        larger=ProblemClass.MB,
+        problem_name="odd number of odd-degree neighbours (Theorem 13)",
+        solver=OddOddNeighboursAlgorithm(),
+        witness_graph=graph,
+        witness_nodes=(first_witness, second_witness),
+        is_valid_solution=problem.is_solution,
+        numbering=None,
+    )

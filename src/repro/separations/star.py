@@ -1,0 +1,37 @@
+"""Theorem 11: leaf election separates VB from SV.
+
+The problem of electing exactly one leaf of a star is solvable by a one-round
+Set algorithm (the centre's distinct output-port numbers break the symmetry
+between the leaves), but in the ``K+,-`` encoding of any star all leaves are
+bisimilar -- a Broadcast algorithm can never give two leaves different
+outputs, so by Corollary 3(b) the problem is not in VB.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.core.classification import SeparationEvidence
+from repro.graphs.generators import star_graph
+from repro.graphs.ports import consistent_port_numbering
+from repro.machines.models import ProblemClass
+from repro.problems.separating import LeafElectionInStars
+
+
+def star_separation(leaves: int = 3) -> SeparationEvidence:
+    """The evidence object for ``VB ⊊ SV`` on a ``leaves``-star."""
+    if leaves < 2:
+        raise ValueError("the separating star needs at least two leaves")
+    graph = star_graph(leaves)
+    problem = LeafElectionInStars()
+    centre = 0
+    leaf_nodes = tuple(node for node in graph.nodes if node != centre)
+    return SeparationEvidence(
+        smaller=ProblemClass.VB,
+        larger=ProblemClass.SV,
+        problem_name="leaf election in stars (Theorem 11)",
+        solver=LeafElectionAlgorithm(),
+        witness_graph=graph,
+        witness_nodes=leaf_nodes,
+        is_valid_solution=problem.is_solution,
+        numbering=consistent_port_numbering(graph),
+    )

@@ -1,0 +1,13 @@
+"""All separation witnesses, in hierarchy order."""
+
+from __future__ import annotations
+
+from repro.core.classification import SeparationEvidence
+from repro.separations.matchless import matchless_separation
+from repro.separations.odd_odd import odd_odd_separation
+from repro.separations.star import star_separation
+
+
+def all_separations() -> tuple[SeparationEvidence, ...]:
+    """The three separations establishing the strict inclusions of Figure 5b."""
+    return (odd_odd_separation(), star_separation(), matchless_separation())

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.utils.ordering import canonical_key
+
+__all__ = ["canonical_key"]

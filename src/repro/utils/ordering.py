@@ -1,0 +1,47 @@
+"""A total order on heterogeneous message values.
+
+The history-based simulations (Theorems 8 and 9) order received message
+histories lexicographically; the paper simply fixes "a fixed order ``<_M`` of
+the message set".  Python values of different types are not mutually
+comparable, so :func:`canonical_key` maps an arbitrary nested message value to
+a key built from strings and tuples only, which *is* totally ordered and
+respects equality (equal values map to equal keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def canonical_key(value: Any) -> tuple:
+    """A sort key defining a total order on nested hashable message values.
+
+    The key is built recursively: containers are tagged with their kind and
+    ordered element-wise (sets and multisets are first sorted by the keys of
+    their elements), and atoms are ordered by type name and representation.
+    Distinct values may in principle share a representation, but the key is
+    only used to *order* messages, never to identify them.
+    """
+    from repro.machines.multiset import FrozenMultiset
+
+    if isinstance(value, tuple):
+        return ("tuple", tuple(canonical_key(item) for item in value))
+    if isinstance(value, list):
+        return ("list", tuple(canonical_key(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(canonical_key(item) for item in value)))
+    if isinstance(value, FrozenMultiset):
+        return (
+            "multiset",
+            tuple(sorted((canonical_key(item), count) for item, count in value.counts().items())),
+        )
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted((canonical_key(key), canonical_key(val)) for key, val in value.items())),
+        )
+    if isinstance(value, bool):
+        return ("bool", repr(value))
+    if isinstance(value, int):
+        return ("int", f"{value:+032d}")
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    figure9_graph,
+    grid_graph,
+    odd_odd_gadget_pair,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random generator (reproducible tests)."""
+    return random.Random(20120521)
+
+
+@pytest.fixture
+def small_graphs():
+    """A small, varied family of graphs used by adversarial checks."""
+    return [
+        path_graph(2),
+        path_graph(4),
+        cycle_graph(3),
+        cycle_graph(4),
+        star_graph(3),
+        complete_graph(4),
+    ]
+
+
+@pytest.fixture
+def star3():
+    return star_graph(3)
+
+
+@pytest.fixture
+def cycle5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def figure9():
+    return figure9_graph()
+
+
+@pytest.fixture
+def grid33():
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def odd_odd_witness():
+    return odd_odd_gadget_pair()

@@ -1,0 +1,72 @@
+"""Unit tests for the building-block algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.basic import (
+    BroadcastMinimumDegreeAlgorithm,
+    ConstantAlgorithm,
+    DegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    NeighbourDegreeSumAlgorithm,
+    PortEchoAlgorithm,
+    RoundCounterAlgorithm,
+)
+from repro.execution.runner import run
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.ports import consistent_port_numbering, local_type
+
+
+class TestConstantAndDegree:
+    def test_constant(self):
+        result = run(ConstantAlgorithm("label"), path_graph(3))
+        assert set(result.outputs.values()) == {"label"}
+
+    def test_degree(self):
+        result = run(DegreeAlgorithm(), complete_graph(4))
+        assert set(result.outputs.values()) == {3}
+
+
+class TestRoundCounter:
+    def test_zero_rounds(self):
+        result = run(RoundCounterAlgorithm(0), cycle_graph(3))
+        assert result.rounds == 0
+        assert set(result.outputs.values()) == {0}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RoundCounterAlgorithm(-1)
+
+
+class TestNeighbourhoodAlgorithms:
+    def test_neighbour_degree_sum_on_cycle(self):
+        result = run(NeighbourDegreeSumAlgorithm(), cycle_graph(5))
+        assert set(result.outputs.values()) == {4}
+
+    def test_gather_degrees_on_star(self):
+        result = run(GatherDegreesAlgorithm(), star_graph(3))
+        assert result.outputs[0] == (1, 1, 1)
+        assert result.outputs[1] == (3,)
+
+    def test_broadcast_minimum_degree(self):
+        result = run(BroadcastMinimumDegreeAlgorithm(), star_graph(4))
+        assert result.outputs[0] == 1
+        assert result.outputs[1] == 1
+
+    def test_broadcast_minimum_degree_on_regular_graph(self):
+        result = run(BroadcastMinimumDegreeAlgorithm(), cycle_graph(4))
+        assert set(result.outputs.values()) == {2}
+
+
+class TestPortEcho:
+    def test_output_is_local_type_under_consistent_numbering(self):
+        graph = star_graph(3)
+        numbering = consistent_port_numbering(graph)
+        result = run(PortEchoAlgorithm(), graph, numbering)
+        for node in graph.nodes:
+            expected = local_type(numbering, node)[: graph.degree(node)]
+            assert result.outputs[node] == expected
+
+    def test_takes_exactly_one_round(self):
+        assert run(PortEchoAlgorithm(), cycle_graph(4)).rounds == 1

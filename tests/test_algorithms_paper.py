@@ -1,0 +1,135 @@
+"""Tests for the paper's concrete algorithms (Theorems 11, 13, 17; Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.local_types import LocalTypeSymmetryBreaking
+from repro.algorithms.parity import OddOddNeighboursAlgorithm, SomeOddNeighbourAlgorithm
+from repro.algorithms.vertex_cover import DoubleCoverMatchingVertexCover, cover_from_outputs
+from repro.execution.adversary import port_numberings_to_check
+from repro.execution.runner import run
+from repro.graphs.covers import symmetric_port_numbering
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    figure9_graph,
+    grid_graph,
+    odd_odd_gadget_pair,
+    path_graph,
+    random_bounded_degree_graph,
+    star_graph,
+)
+from repro.graphs.matching import is_vertex_cover, minimum_vertex_cover
+from repro.problems.separating import (
+    LeafElectionInStars,
+    OddOddNeighbours,
+    SymmetryBreakingInMatchlessRegular,
+)
+from repro.problems.verification import solves, worst_case_running_time
+
+
+class TestLeafElection:
+    def test_elects_exactly_one_leaf_on_every_numbering(self):
+        graph = star_graph(4)
+        for numbering in port_numberings_to_check(graph, exhaustive_limit=600):
+            outputs = run(LeafElectionAlgorithm(), graph, numbering).outputs
+            assert outputs[0] == 0
+            assert sum(outputs[leaf] for leaf in range(1, 5)) == 1
+
+    def test_solves_the_problem_on_mixed_family(self):
+        graphs = [star_graph(2), star_graph(3), path_graph(4), cycle_graph(3), complete_graph(4)]
+        assert solves(LeafElectionAlgorithm(), LeafElectionInStars(), graphs)
+
+    def test_is_local(self):
+        assert worst_case_running_time(LeafElectionAlgorithm(), [star_graph(5)]) == 1
+
+
+class TestOddOddNeighbours:
+    def test_matches_the_specification_everywhere(self):
+        problem = OddOddNeighbours()
+        graphs = [path_graph(5), cycle_graph(6), star_graph(4), odd_odd_gadget_pair()[0]]
+        assert solves(OddOddNeighboursAlgorithm(), problem, graphs)
+
+    def test_distinguishes_the_theorem13_witnesses(self):
+        graph, first, second = odd_odd_gadget_pair()
+        outputs = run(OddOddNeighboursAlgorithm(), graph).outputs
+        assert {outputs[first], outputs[second]} == {0, 1}
+
+    def test_set_variant_cannot_distinguish_them(self):
+        graph, first, second = odd_odd_gadget_pair()
+        outputs = run(SomeOddNeighbourAlgorithm(), graph).outputs
+        assert outputs[first] == outputs[second]
+
+    def test_some_odd_neighbour_semantics(self):
+        outputs = run(SomeOddNeighbourAlgorithm(), star_graph(2)).outputs
+        # Leaves see the degree-2 centre (even): no odd neighbour.
+        assert outputs[1] == outputs[2] == 0
+        assert outputs[0] == 1
+
+
+class TestLocalTypeSymmetryBreaking:
+    def test_two_rounds(self):
+        assert run(LocalTypeSymmetryBreaking(), figure9_graph()).rounds == 2
+
+    def test_breaks_symmetry_on_figure9_under_consistent_numberings(self):
+        graph = figure9_graph()
+        problem = SymmetryBreakingInMatchlessRegular()
+        assert solves(
+            LocalTypeSymmetryBreaking(),
+            problem,
+            [graph],
+            consistent_only=True,
+            samples=15,
+        )
+
+    def test_output_constant_under_symmetric_inconsistent_numbering(self):
+        """Under the Lemma 15 numbering every node behaves identically."""
+        graph = figure9_graph()
+        numbering = symmetric_port_numbering(graph)
+        outputs = run(LocalTypeSymmetryBreaking(), graph, numbering).outputs
+        assert len(set(outputs.values())) == 1
+
+    def test_maximal_type_nodes_output_one(self):
+        graph = cycle_graph(4)
+        outputs = run(LocalTypeSymmetryBreaking(), graph).outputs
+        assert 1 in outputs.values() and 0 in set(outputs.values()) | {0}
+
+
+class TestDoubleCoverVertexCover:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), cycle_graph(6), star_graph(4), complete_graph(4), grid_graph(2, 3)],
+        ids=["path5", "cycle6", "star4", "K4", "grid2x3"],
+    )
+    def test_output_is_a_vertex_cover_under_consistent_numberings(self, graph):
+        algorithm = DoubleCoverMatchingVertexCover()
+        for numbering in port_numberings_to_check(
+            graph, consistent_only=True, exhaustive_limit=30, samples=5
+        ):
+            outputs = run(algorithm, graph, numbering).outputs
+            assert is_vertex_cover(graph, cover_from_outputs(outputs))
+
+    def test_isolated_nodes_stay_out_of_the_cover(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(nodes=[0, 1, 2], edges=[(0, 1)])
+        outputs = run(DoubleCoverMatchingVertexCover(), graph).outputs
+        assert outputs[2] == 0
+
+    def test_ratio_stays_small_on_random_graphs(self):
+        algorithm = DoubleCoverMatchingVertexCover()
+        for seed in range(3):
+            graph = random_bounded_degree_graph(10, 3, seed=seed)
+            if graph.number_of_edges == 0:
+                continue
+            outputs = run(algorithm, graph).outputs
+            cover = cover_from_outputs(outputs)
+            assert is_vertex_cover(graph, cover)
+            assert len(cover) <= 3 * len(minimum_vertex_cover(graph))
+
+    def test_terminates_within_round_bound(self):
+        graph = complete_graph(5)
+        result = run(DoubleCoverMatchingVertexCover(), graph)
+        assert result.rounds <= 2 * graph.max_degree() + 2

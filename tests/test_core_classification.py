@@ -1,0 +1,111 @@
+"""Tests for the evidence objects and the assembled classification (E3)."""
+
+from __future__ import annotations
+
+from repro.core.classification import ClassificationReport, ContainmentEvidence, SeparationEvidence
+from repro.core.simulations import simulate_multiset_with_set
+from repro.algorithms.basic import GatherDegreesAlgorithm
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.execution.runner import run
+from repro.experiments.e03_hierarchy import build_classification
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.ports import consistent_port_numbering
+from repro.machines.models import ProblemClass
+from repro.problems.separating import LeafElectionInStars
+
+
+class TestContainmentEvidence:
+    def test_valid_simulation_verifies(self):
+        inner = GatherDegreesAlgorithm()
+        evidence = ContainmentEvidence(
+            smaller=ProblemClass.MV,
+            larger=ProblemClass.SV,
+            description="Theorem 4",
+            simulate=lambda alg: simulate_multiset_with_set(alg, delta=3),
+        )
+
+        def outputs_valid(graph, numbering, outputs):
+            return outputs == run(inner, graph, numbering).outputs
+
+        assert evidence.verify([inner], [star_graph(3), path_graph(3)], outputs_valid)
+
+    def test_broken_simulation_fails_verification(self):
+        inner = GatherDegreesAlgorithm()
+        evidence = ContainmentEvidence(
+            smaller=ProblemClass.MV,
+            larger=ProblemClass.SV,
+            description="identity (not a simulation of anything)",
+            simulate=lambda alg: alg,
+        )
+
+        def outputs_valid(graph, numbering, outputs):
+            return all(value == "impossible" for value in outputs.values())
+
+        assert not evidence.verify([inner], [path_graph(3)], outputs_valid)
+
+
+class TestSeparationEvidence:
+    def _evidence(self) -> SeparationEvidence:
+        graph = star_graph(3)
+        return SeparationEvidence(
+            smaller=ProblemClass.VB,
+            larger=ProblemClass.SV,
+            problem_name="leaf election",
+            solver=LeafElectionAlgorithm(),
+            witness_graph=graph,
+            witness_nodes=(1, 2, 3),
+            is_valid_solution=LeafElectionInStars().is_solution,
+            numbering=consistent_port_numbering(graph),
+        )
+
+    def test_verify_components(self):
+        evidence = self._evidence()
+        assert evidence.witness_bisimilar()
+        assert evidence.solutions_must_distinguish()
+        assert evidence.solver_succeeds([evidence.witness_graph])
+        assert evidence.verify()
+
+    def test_wrong_witness_set_fails_bisimilarity(self):
+        graph = star_graph(3)
+        evidence = SeparationEvidence(
+            smaller=ProblemClass.SV,  # the strong encoding separates the leaves
+            larger=ProblemClass.SV,
+            problem_name="leaf election",
+            solver=LeafElectionAlgorithm(),
+            witness_graph=graph,
+            witness_nodes=(1, 2, 3),
+            is_valid_solution=LeafElectionInStars().is_solution,
+            numbering=consistent_port_numbering(graph),
+        )
+        assert not evidence.witness_bisimilar()
+
+    def test_unconstrained_problem_fails_distinguish_check(self):
+        graph = star_graph(3)
+        evidence = SeparationEvidence(
+            smaller=ProblemClass.VB,
+            larger=ProblemClass.SV,
+            problem_name="anything goes",
+            solver=LeafElectionAlgorithm(),
+            witness_graph=graph,
+            witness_nodes=(1, 2, 3),
+            is_valid_solution=lambda g, s: True,
+            numbering=consistent_port_numbering(graph),
+        )
+        assert not evidence.solutions_must_distinguish()
+
+
+class TestAssembledClassification:
+    def test_full_report_verifies(self):
+        report = build_classification()
+        assert isinstance(report, ClassificationReport)
+        assert report.all_verified()
+        assert len(report.containments) == 3
+        assert len(report.separations) == 3
+
+    def test_rows_cover_all_claims(self):
+        report = build_classification()
+        rows = report.rows()
+        assert len(rows) == 6
+        claims = {claim for claim, _, _ in rows}
+        assert "MV ⊆ SV" in claims
+        assert "VVc ⊄ VV" in claims

@@ -1,0 +1,61 @@
+"""Unit tests for adversarial execution over port numberings."""
+
+from __future__ import annotations
+
+from repro.algorithms.basic import GatherDegreesAlgorithm, PortEchoAlgorithm
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.execution.adversary import (
+    distinct_outputs,
+    outputs_over_port_numberings,
+    port_numberings_to_check,
+)
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.ports import count_port_numberings
+
+
+class TestPortNumberingsToCheck:
+    def test_exhaustive_for_small_graphs(self):
+        graph = path_graph(3)
+        numberings = list(port_numberings_to_check(graph))
+        assert len(numberings) == count_port_numberings(graph) == 4
+
+    def test_sampling_for_large_graphs(self):
+        graph = cycle_graph(8)
+        numberings = list(port_numberings_to_check(graph, exhaustive_limit=10, samples=7))
+        assert len(numberings) == 8  # canonical + 7 samples
+
+    def test_sampling_is_reproducible(self):
+        graph = cycle_graph(8)
+        first = [
+            p.as_mapping()
+            for p in port_numberings_to_check(graph, exhaustive_limit=10, samples=3, seed=5)
+        ]
+        second = [
+            p.as_mapping()
+            for p in port_numberings_to_check(graph, exhaustive_limit=10, samples=3, seed=5)
+        ]
+        assert first == second
+
+    def test_consistent_only(self):
+        graph = star_graph(3)
+        numberings = list(port_numberings_to_check(graph, consistent_only=True))
+        assert len(numberings) == 6
+        assert all(p.is_consistent() for p in numberings)
+
+
+class TestOutputsOverNumberings:
+    def test_numbering_invariant_algorithm_has_one_outcome(self):
+        graph = star_graph(3)
+        outcomes = distinct_outputs(GatherDegreesAlgorithm(), graph)
+        assert len(outcomes) == 1
+
+    def test_numbering_sensitive_algorithm_has_many_outcomes(self):
+        graph = star_graph(2)
+        outcomes = distinct_outputs(PortEchoAlgorithm(), graph)
+        assert len(outcomes) > 1
+
+    def test_leaf_election_always_elects_exactly_one_leaf(self):
+        graph = star_graph(3)
+        for _numbering, result in outputs_over_port_numberings(LeafElectionAlgorithm(), graph):
+            assert result.outputs[0] == 0
+            assert sum(result.outputs[leaf] for leaf in (1, 2, 3)) == 1

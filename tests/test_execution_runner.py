@@ -1,0 +1,164 @@
+"""Unit tests for the synchronous execution engine (Section 1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.basic import (
+    ConstantAlgorithm,
+    DegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    NeighbourDegreeSumAlgorithm,
+    PortEchoAlgorithm,
+    RoundCounterAlgorithm,
+)
+from repro.execution.runner import ExecutionError, run
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.ports import PortNumbering, consistent_port_numbering
+from repro.machines.algorithm import MultisetBroadcastAlgorithm, Output, VectorAlgorithm
+
+
+class TestBasicExecution:
+    def test_constant_algorithm_halts_in_zero_rounds(self):
+        result = run(ConstantAlgorithm(7), cycle_graph(4))
+        assert result.rounds == 0
+        assert result.halted
+        assert set(result.outputs.values()) == {7}
+
+    def test_degree_algorithm(self):
+        result = run(DegreeAlgorithm(), star_graph(4))
+        assert result.outputs[0] == 4
+        assert result.outputs[1] == 1
+
+    def test_round_counter_runs_exact_number_of_rounds(self):
+        for rounds in (1, 3, 7):
+            result = run(RoundCounterAlgorithm(rounds), cycle_graph(3))
+            assert result.rounds == rounds
+            assert set(result.outputs.values()) == {rounds}
+
+    def test_neighbour_degree_sum(self):
+        result = run(NeighbourDegreeSumAlgorithm(), star_graph(3))
+        assert result.outputs[0] == 3  # three leaves of degree 1
+        assert result.outputs[1] == 3  # the centre has degree 3
+
+    def test_gather_degrees(self):
+        result = run(GatherDegreesAlgorithm(), path_graph(3))
+        assert result.outputs[0] == (2,)
+        assert result.outputs[1] == (1, 1)
+
+    def test_empty_graph(self):
+        result = run(ConstantAlgorithm(0), Graph())
+        assert result.outputs == {}
+        assert result.halted
+
+    def test_isolated_nodes(self):
+        graph = Graph(nodes=["lonely"], edges=[])
+        result = run(NeighbourDegreeSumAlgorithm(), graph)
+        assert result.outputs == {"lonely": 0}
+
+
+class TestPortNumberingSensitivity:
+    def test_port_echo_depends_on_numbering(self):
+        graph = star_graph(2)
+        base = consistent_port_numbering(graph)
+        swapped = PortNumbering(graph, {0: (2, 1), 1: (0,), 2: (0,)})
+        out_base = run(PortEchoAlgorithm(), graph, base).outputs
+        out_swapped = run(PortEchoAlgorithm(), graph, swapped).outputs
+        assert out_base[1] != out_swapped[1]
+
+    def test_numbering_of_wrong_graph_rejected(self):
+        graph = path_graph(3)
+        other = path_graph(4)
+        with pytest.raises(ValueError):
+            run(ConstantAlgorithm(), graph, consistent_port_numbering(other))
+
+    def test_default_numbering_is_consistent_canonical(self):
+        graph = cycle_graph(4)
+        explicit = run(PortEchoAlgorithm(), graph, consistent_port_numbering(graph)).outputs
+        default = run(PortEchoAlgorithm(), graph).outputs
+        assert explicit == default
+
+
+class TestMessageDelivery:
+    def test_messages_travel_along_the_numbering(self):
+        graph = path_graph(2)
+
+        class SendName(VectorAlgorithm):
+            def initial_state(self, degree):
+                return degree
+
+            def send(self, state, port):
+                return ("from-degree", state)
+
+            def transition(self, state, received):
+                return Output(received[0])
+
+        result = run(SendName(), graph)
+        assert result.outputs[0] == ("from-degree", 1)
+        assert result.outputs[1] == ("from-degree", 1)
+
+    def test_halted_nodes_send_no_message(self):
+        class HaltThenListen(MultisetBroadcastAlgorithm):
+            """Degree-1 nodes halt immediately; others report what they hear."""
+
+            def initial_state(self, degree):
+                return Output("leaf") if degree == 1 else "listening"
+
+            def broadcast(self, state):
+                return "alive"
+
+            def transition(self, state, received):
+                return Output(sorted(received))
+
+        result = run(HaltThenListen(), star_graph(2))
+        from repro.machines.algorithm import NO_MESSAGE
+
+        assert result.outputs[0] == sorted([NO_MESSAGE, NO_MESSAGE])
+        assert result.outputs[1] == "leaf"
+
+
+class TestTermination:
+    def test_non_halting_algorithm_raises(self):
+        class Forever(MultisetBroadcastAlgorithm):
+            def initial_state(self, degree):
+                return 0
+
+            def broadcast(self, state):
+                return "m"
+
+            def transition(self, state, received):
+                return state + 1
+
+        with pytest.raises(ExecutionError):
+            run(Forever(), cycle_graph(3), max_rounds=10)
+
+    def test_non_halting_algorithm_reported_when_not_required(self):
+        class Forever(MultisetBroadcastAlgorithm):
+            def initial_state(self, degree):
+                return 0
+
+            def broadcast(self, state):
+                return "m"
+
+            def transition(self, state, received):
+                return state + 1
+
+        result = run(Forever(), cycle_graph(3), max_rounds=5, require_halt=False)
+        assert not result.halted
+        assert result.rounds == 5
+        assert result.outputs == {}
+
+
+class TestTraces:
+    def test_trace_records_states_and_messages(self):
+        result = run(RoundCounterAlgorithm(3), cycle_graph(4), record_trace=True)
+        trace = result.trace
+        assert trace is not None
+        assert trace.rounds == 3
+        assert len(trace.state_history) == 4
+        # Every round delivers one message per port: 8 ports in a 4-cycle.
+        assert all(len(per_round) == 8 for per_round in trace.received_messages[1:])
+
+    def test_trace_not_recorded_by_default(self):
+        assert run(ConstantAlgorithm(), path_graph(2)).trace is None

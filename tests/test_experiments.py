@@ -1,0 +1,52 @@
+"""Tests for the experiment harness: every experiment runs and matches the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_report
+from repro.experiments.registry import EXPERIMENTS, run_all_experiments, run_experiment
+from repro.experiments.report import ExperimentResult
+
+
+class TestRegistry:
+    def test_twelve_experiments_registered(self):
+        assert len(EXPERIMENTS) == 12
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS, key=lambda e: int(e[1:])))
+def test_experiment_matches_paper(experiment_id):
+    """Each experiment regenerates its paper artefact with no mismatching rows."""
+    result = run_experiment(experiment_id)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, "an experiment must report at least one comparison"
+    mismatches = [row.metric for row in result.rows if not row.matches]
+    assert not mismatches, f"{experiment_id} mismatches: {mismatches}"
+
+
+class TestReporting:
+    def test_format_single_result(self):
+        result = ExperimentResult("E0", "demo", "nowhere")
+        result.add("metric", "paper says", "we measured", True)
+        text = result.format()
+        assert "E0" in text and "metric" in text and "[ok]" in text
+
+    def test_format_report_verdict(self):
+        good = ExperimentResult("E0", "demo", "nowhere")
+        good.add("m", "p", "m", True)
+        bad = ExperimentResult("E0b", "demo", "nowhere")
+        bad.add("m", "p", "m", False)
+        assert "ALL EXPERIMENTS MATCH" in format_report([good])
+        assert "MISMATCHES PRESENT" in format_report([good, bad])
+
+    def test_all_match_property(self):
+        result = ExperimentResult("E0", "demo", "nowhere")
+        result.add("m", "p", "m", True)
+        assert result.all_match
+        result.add("m2", "p", "m", False)
+        assert not result.all_match

@@ -1,0 +1,131 @@
+"""Unit tests for double covers, symmetric port numberings and local views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.covers import (
+    bipartite_double_cover,
+    local_view,
+    symmetric_port_numbering,
+    view_classes,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    figure9_graph,
+    hypercube_graph,
+    path_graph,
+    star_graph,
+)
+from repro.logic.bisimulation import bisimilar_within, bounded_bisimilarity_partition
+from repro.modal.encoding import KripkeVariant, kripke_encoding
+
+
+class TestBipartiteDoubleCover:
+    def test_node_and_edge_counts(self):
+        graph = cycle_graph(5)
+        double = bipartite_double_cover(graph)
+        assert double.number_of_nodes == 2 * graph.number_of_nodes
+        assert double.number_of_edges == 2 * graph.number_of_edges
+
+    def test_double_cover_is_bipartite_and_regular(self):
+        double = bipartite_double_cover(complete_graph(4))
+        assert double.is_bipartite()
+        assert double.is_regular(3)
+
+    def test_double_cover_of_odd_cycle_is_even_cycle(self):
+        double = bipartite_double_cover(cycle_graph(5))
+        assert double.is_connected()
+        assert double.is_regular(2)
+        assert double.number_of_nodes == 10
+
+
+class TestSymmetricPortNumbering:
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(4), cycle_graph(5), complete_graph(4), hypercube_graph(3), figure9_graph()],
+        ids=["C4", "C5", "K4", "Q3", "figure9"],
+    )
+    def test_all_nodes_bisimilar_in_full_encoding(self, graph):
+        numbering = symmetric_port_numbering(graph)
+        encoding = kripke_encoding(graph, numbering, variant=KripkeVariant.FULL)
+        assert bisimilar_within(encoding, graph.nodes)
+
+    def test_diagonal_relations_only(self):
+        graph = complete_graph(4)
+        numbering = symmetric_port_numbering(graph)
+        encoding = kripke_encoding(graph, numbering, variant=KripkeVariant.FULL)
+        for i, j in encoding.indices:
+            pairs = encoding.relation((i, j))
+            if i == j:
+                assert len(pairs) == graph.number_of_nodes
+            else:
+                assert pairs == frozenset()
+
+    def test_requires_regular_graph(self):
+        with pytest.raises(ValueError):
+            symmetric_port_numbering(star_graph(3))
+
+    def test_matchless_graph_numbering_is_inconsistent(self):
+        assert not symmetric_port_numbering(figure9_graph()).is_consistent()
+
+    def test_even_cycle_numbering_is_valid_port_numbering(self):
+        graph = cycle_graph(6)
+        numbering = symmetric_port_numbering(graph)
+        mapping = numbering.as_mapping()
+        assert set(mapping.values()) == set(numbering.ports())
+
+
+class TestLocalViews:
+    def test_radius_zero_is_degree(self):
+        graph = star_graph(3)
+        assert local_view(graph, 0, 0) == (3,)
+        assert local_view(graph, 1, 0) == (1,)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            local_view(path_graph(2), 0, -1)
+
+    def test_cycle_nodes_share_views_at_all_radii(self):
+        graph = cycle_graph(6)
+        for radius in range(4):
+            assert len(view_classes(graph, radius)) == 1
+
+    def test_path_endpoints_versus_middle(self):
+        graph = path_graph(5)
+        assert local_view(graph, 0, 1) != local_view(graph, 2, 1)
+
+    def test_counting_versus_set_views(self):
+        # A node with two degree-1 neighbours versus one degree-1 neighbour:
+        # the set-view cannot tell them apart at radius 1, the counting view can.
+        star = star_graph(2)
+        path = path_graph(2)
+        counting_star = local_view(star, 0, 1, counting=True)
+        counting_path = local_view(path, 0, 1, counting=True)
+        set_star = local_view(star, 0, 1, counting=False)
+        set_path = local_view(path, 0, 1, counting=False)
+        assert counting_star != counting_path
+        assert set_star != set_path  # degrees differ, so even the root labels differ
+        # Same-degree example: the Theorem 13 witnesses.
+        from repro.graphs.generators import odd_odd_gadget_pair
+
+        graph, first, second = odd_odd_gadget_pair()
+        assert local_view(graph, first, 1, counting=False) == local_view(
+            graph, second, 1, counting=False
+        )
+        assert local_view(graph, first, 1, counting=True) != local_view(
+            graph, second, 1, counting=True
+        )
+
+    def test_views_match_bounded_bisimilarity(self):
+        graph = figure9_graph()
+        encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+        for radius in (1, 2):
+            partition = bounded_bisimilarity_partition(encoding, radius, graded=True)
+            views = view_classes(graph, radius, counting=True)
+            # Two nodes share a view exactly when they share a partition block.
+            for nodes in views.values():
+                blocks = {partition[node] for node in nodes}
+                assert len(blocks) == 1
+            assert len(views) == len(set(partition.values()))

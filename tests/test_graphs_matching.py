@@ -1,0 +1,129 @@
+"""Unit tests for matchings, 1-factorisations and vertex covers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.covers import bipartite_double_cover
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    figure9_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.matching import (
+    has_perfect_matching,
+    is_matching,
+    is_perfect_matching,
+    is_vertex_cover,
+    maximal_matching,
+    maximum_matching,
+    minimum_vertex_cover,
+    one_factorisation,
+    perfect_matching,
+    vertex_cover_from_matching,
+)
+
+
+class TestMatchings:
+    def test_maximum_matching_path(self):
+        assert len(maximum_matching(path_graph(4))) == 2
+        assert len(maximum_matching(path_graph(5))) == 2
+
+    def test_maximum_matching_is_a_matching(self):
+        graph = grid_graph(3, 3)
+        assert is_matching(graph, maximum_matching(graph))
+
+    def test_maximal_matching_is_maximal(self):
+        graph = cycle_graph(7)
+        matching = maximal_matching(graph)
+        matched = {node for edge in matching for node in edge}
+        for u, v in graph.edges:
+            assert u in matched or v in matched
+
+    def test_is_matching_rejects_overlap(self):
+        graph = path_graph(3)
+        assert not is_matching(graph, [frozenset({0, 1}), frozenset({1, 2})])
+
+    def test_is_matching_rejects_non_edges(self):
+        graph = path_graph(3)
+        assert not is_matching(graph, [frozenset({0, 2})])
+
+
+class TestPerfectMatchings:
+    def test_even_cycle_has_perfect_matching(self):
+        assert has_perfect_matching(cycle_graph(6))
+        assert is_perfect_matching(cycle_graph(6), perfect_matching(cycle_graph(6)))
+
+    def test_odd_number_of_nodes_has_none(self):
+        assert not has_perfect_matching(cycle_graph(5))
+
+    def test_star_has_none(self):
+        assert not has_perfect_matching(star_graph(3))
+
+    def test_figure9_has_none(self):
+        assert not has_perfect_matching(figure9_graph())
+
+    def test_perfect_matching_raises_when_absent(self):
+        with pytest.raises(ValueError):
+            perfect_matching(star_graph(3))
+
+
+class TestOneFactorisation:
+    @pytest.mark.parametrize(
+        "graph",
+        [complete_bipartite_graph(3, 3), cycle_graph(6), bipartite_double_cover(cycle_graph(5))],
+        ids=["K33", "C6", "double-cover-C5"],
+    )
+    def test_factors_partition_the_edges(self, graph):
+        factors = one_factorisation(graph)
+        degree = graph.degree(graph.nodes[0])
+        assert len(factors) == degree
+        all_edges = [edge for factor in factors for edge in factor]
+        assert len(all_edges) == graph.number_of_edges
+        assert len(set(all_edges)) == graph.number_of_edges
+        for factor in factors:
+            assert is_perfect_matching(graph, factor)
+
+    def test_double_cover_of_figure9_is_factorisable(self):
+        double = bipartite_double_cover(figure9_graph())
+        factors = one_factorisation(double)
+        assert len(factors) == 3
+
+    def test_requires_regularity(self):
+        with pytest.raises(ValueError):
+            one_factorisation(star_graph(3))
+
+    def test_requires_bipartiteness(self):
+        with pytest.raises(ValueError):
+            one_factorisation(complete_graph(4))
+
+
+class TestVertexCovers:
+    def test_is_vertex_cover(self):
+        graph = path_graph(4)
+        assert is_vertex_cover(graph, {1, 2})
+        assert not is_vertex_cover(graph, {0, 3})
+
+    def test_minimum_vertex_cover_sizes(self):
+        assert len(minimum_vertex_cover(path_graph(4))) == 2
+        assert len(minimum_vertex_cover(star_graph(5))) == 1
+        assert len(minimum_vertex_cover(cycle_graph(5))) == 3
+        assert len(minimum_vertex_cover(complete_graph(4))) == 3
+
+    def test_minimum_vertex_cover_empty_graph(self):
+        assert minimum_vertex_cover(Graph(nodes=[1, 2, 3])) == frozenset()
+
+    def test_minimum_cover_is_a_cover(self):
+        graph = grid_graph(2, 3)
+        assert is_vertex_cover(graph, minimum_vertex_cover(graph))
+
+    def test_cover_from_matching_is_cover_and_2_approx(self):
+        graph = grid_graph(3, 3)
+        cover = vertex_cover_from_matching(graph, maximal_matching(graph))
+        assert is_vertex_cover(graph, cover)
+        assert len(cover) <= 2 * len(minimum_vertex_cover(graph))

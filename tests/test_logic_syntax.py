@@ -1,0 +1,121 @@
+"""Unit tests for the formula AST (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    GradedDiamond,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    Top,
+    conjunction,
+    disjunction,
+    is_graded,
+    logic_of,
+    modal_depth,
+    modal_indices,
+    propositions,
+    subformulas,
+)
+
+
+class TestConstruction:
+    def test_formulas_are_hashable_values(self):
+        assert Prop("q") == Prop("q")
+        assert hash(And(Prop("p"), Prop("q"))) == hash(And(Prop("p"), Prop("q")))
+        assert Prop("p") != Prop("q")
+
+    def test_operator_sugar(self):
+        sugar = Prop("p") & ~Prop("q") | Prop("r")
+        explicit = Or(And(Prop("p"), Not(Prop("q"))), Prop("r"))
+        assert sugar == explicit
+
+    def test_implication_sugar(self):
+        assert (Prop("p") >> Prop("q")) == Implies(Prop("p"), Prop("q"))
+
+    def test_graded_diamond_rejects_negative_grade(self):
+        with pytest.raises(ValueError):
+            GradedDiamond(Prop("p"), grade=-1)
+
+    def test_conjunction_and_disjunction_builders(self):
+        assert conjunction([]) == Top()
+        assert disjunction([]) == Bottom()
+        assert conjunction([Prop("p")]) == Prop("p")
+        assert disjunction([Prop("p"), Prop("q")]) == Or(Prop("p"), Prop("q"))
+
+
+class TestModalDepth:
+    def test_depth_of_propositional_formulas(self):
+        assert modal_depth(Prop("q")) == 0
+        assert modal_depth(And(Prop("p"), Not(Prop("q")))) == 0
+
+    def test_depth_counts_nesting_not_occurrences(self):
+        one_deep = And(Diamond(Prop("p")), Diamond(Prop("q")))
+        assert modal_depth(one_deep) == 1
+        nested = Diamond(Diamond(Diamond(Prop("p"))))
+        assert modal_depth(nested) == 3
+
+    def test_graded_and_box_count_as_modalities(self):
+        assert modal_depth(GradedDiamond(Prop("p"), grade=2)) == 1
+        assert modal_depth(Box(Diamond(Prop("p")))) == 2
+
+    def test_depth_of_mixed_formula(self):
+        phi = Implies(Diamond(Prop("p")), Diamond(Diamond(Prop("q"))))
+        assert modal_depth(phi) == 2
+
+
+class TestStructuralQueries:
+    def test_subformulas(self):
+        phi = And(Prop("p"), Diamond(Not(Prop("q"))))
+        subs = subformulas(phi)
+        assert Prop("p") in subs and Prop("q") in subs
+        assert Not(Prop("q")) in subs and phi in subs
+        assert len(subs) == 5
+
+    def test_propositions(self):
+        phi = Or(Prop("a"), Diamond(And(Prop("b"), Prop("a"))))
+        assert propositions(phi) == frozenset({"a", "b"})
+
+    def test_modal_indices(self):
+        phi = And(Diamond(Prop("p"), index=(1, 2)), GradedDiamond(Prop("q"), 2, index=("*", 1)))
+        assert modal_indices(phi) == frozenset({(1, 2), ("*", 1)})
+
+    def test_is_graded(self):
+        assert is_graded(GradedDiamond(Prop("p"), 3))
+        assert not is_graded(Diamond(Prop("p")))
+
+
+class TestLogicClassification:
+    def test_plain_ml(self):
+        assert logic_of(Diamond(Prop("p"))) == "ML"
+
+    def test_graded_ml(self):
+        assert logic_of(GradedDiamond(Prop("p"), 2)) == "GML"
+
+    def test_multimodal(self):
+        assert logic_of(Diamond(Prop("p"), index=(1, 1))) == "MML"
+
+    def test_graded_multimodal(self):
+        phi = And(Diamond(Prop("p"), index=(1, 1)), GradedDiamond(Prop("q"), 2, index=(1, 2)))
+        assert logic_of(phi) == "GMML"
+
+    def test_propositional_formula_is_ml(self):
+        assert logic_of(And(Prop("p"), Not(Prop("q")))) == "ML"
+
+
+class TestPrinting:
+    def test_round_trippable_strings(self):
+        assert str(Prop("q1")) == "q1"
+        assert str(Not(Prop("q"))) == "~q"
+        assert str(Diamond(Prop("p"))) == "<>p"
+        assert str(Diamond(Prop("p"), index=(2, 1))) == "<2,1>p"
+        assert str(GradedDiamond(Prop("p"), 2, index=("*", "*"))) == "<*,*>>=2 p"
+        assert str(Box(Prop("p"))) == "[]p"
+        assert str(And(Prop("p"), Prop("q"))) == "(p & q)"

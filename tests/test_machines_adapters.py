@@ -1,0 +1,86 @@
+"""Tests for the trivial model upcasts (Figure 5a made executable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.basic import GatherDegreesAlgorithm
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import OddOddNeighboursAlgorithm, SomeOddNeighbourAlgorithm
+from repro.core.simulations import simulate_vector_with_multiset
+from repro.execution.runner import run
+from repro.graphs.generators import cycle_graph, odd_odd_gadget_pair, path_graph, star_graph
+from repro.graphs.ports import random_port_numbering
+from repro.machines.adapters import ModelUpcast, as_model
+from repro.machines.models import (
+    BROADCAST_MODEL,
+    MULTISET_BROADCAST_MODEL,
+    MULTISET_MODEL,
+    SET_MODEL,
+    VECTOR_MODEL,
+)
+
+GRAPHS = (star_graph(3), path_graph(4), cycle_graph(5), odd_odd_gadget_pair()[0])
+
+
+class TestConstruction:
+    def test_downcast_is_rejected(self):
+        with pytest.raises(ValueError):
+            as_model(GatherDegreesAlgorithm(), SET_MODEL)
+
+    def test_identity_upcast_returns_the_same_object(self):
+        algorithm = LeafElectionAlgorithm()
+        assert as_model(algorithm, SET_MODEL) is algorithm
+
+    def test_wrapper_reports_target_model_and_name(self):
+        wrapped = as_model(SomeOddNeighbourAlgorithm(), VECTOR_MODEL)
+        assert isinstance(wrapped, ModelUpcast)
+        assert wrapped.model == VECTOR_MODEL
+        assert "SomeOddNeighbourAlgorithm" in wrapped.name
+        assert wrapped.inner.model != VECTOR_MODEL
+
+
+class TestBehaviourPreservation:
+    @pytest.mark.parametrize(
+        "target",
+        [MULTISET_MODEL, VECTOR_MODEL],
+        ids=["set-as-multiset", "set-as-vector"],
+    )
+    def test_set_algorithm_upcast(self, target, rng):
+        inner = LeafElectionAlgorithm()
+        wrapped = as_model(inner, target)
+        for graph in GRAPHS:
+            numbering = random_port_numbering(graph, rng)
+            assert run(wrapped, graph, numbering).outputs == run(inner, graph, numbering).outputs
+
+    @pytest.mark.parametrize(
+        "target",
+        [MULTISET_BROADCAST_MODEL, BROADCAST_MODEL, MULTISET_MODEL, VECTOR_MODEL],
+        ids=["sb-as-mb", "sb-as-vb", "sb-as-mv", "sb-as-vv"],
+    )
+    def test_set_broadcast_algorithm_upcast(self, target, rng):
+        inner = SomeOddNeighbourAlgorithm()
+        wrapped = as_model(inner, target)
+        for graph in GRAPHS:
+            numbering = random_port_numbering(graph, rng)
+            assert run(wrapped, graph, numbering).outputs == run(inner, graph, numbering).outputs
+
+    def test_mb_algorithm_as_vector_algorithm(self, rng):
+        inner = OddOddNeighboursAlgorithm()
+        wrapped = as_model(inner, VECTOR_MODEL)
+        for graph in GRAPHS:
+            numbering = random_port_numbering(graph, rng)
+            assert run(wrapped, graph, numbering).outputs == run(inner, graph, numbering).outputs
+
+
+class TestComposesWithSimulations:
+    def test_upcast_then_theorem8_simulation(self, rng):
+        """A Set algorithm viewed as Vector can be pushed through Theorem 8."""
+        inner = LeafElectionAlgorithm()
+        as_vector = as_model(inner, VECTOR_MODEL)
+        simulated = simulate_vector_with_multiset(as_vector)
+        for graph in (star_graph(2), star_graph(3)):
+            numbering = random_port_numbering(graph, rng)
+            outputs = run(simulated, graph, numbering).outputs
+            assert outputs[0] == 0
+            assert sum(outputs[leaf] for leaf in graph.nodes if leaf != 0) == 1

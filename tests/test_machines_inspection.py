@@ -1,0 +1,98 @@
+"""Unit tests for the empirical algorithm-class membership checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines.inspection import (
+    is_broadcast_machine,
+    respects_multiset_semantics,
+    respects_set_semantics,
+)
+from repro.machines.state_machine import FiniteStateMachine, machine_from_algorithm
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import OddOddNeighboursAlgorithm
+
+
+def _machine(transition, message=None, delta=2, messages=frozenset({"a", "b"})):
+    return FiniteStateMachine(
+        delta_bound=delta,
+        intermediate_states=frozenset({"run"}),
+        stopping_states=frozenset({0, 1, 2, 3}),
+        messages=messages,
+        initial_states={d: "run" for d in range(delta + 1)},
+        message_table=message or (lambda state, port: "a"),
+        transition_table=transition,
+    )
+
+
+class TestMultisetSemantics:
+    def test_counting_machine_is_multiset(self):
+        machine = _machine(lambda state, vector: min(3, sum(1 for m in vector if m == "a")))
+        assert respects_multiset_semantics(machine)
+
+    def test_order_sensitive_machine_is_not_multiset(self):
+        machine = _machine(lambda state, vector: 1 if vector[0] == "a" else 0)
+        assert not respects_multiset_semantics(machine)
+
+    def test_set_machine_is_also_multiset(self):
+        machine = _machine(lambda state, vector: 1 if "a" in set(vector) else 0)
+        assert respects_multiset_semantics(machine)
+
+
+class TestSetSemantics:
+    def test_membership_machine_is_set(self):
+        machine = _machine(lambda state, vector: 1 if "a" in set(vector) else 0)
+        assert respects_set_semantics(machine)
+
+    def test_counting_machine_is_not_set(self):
+        # With Delta = 3 the vectors (a, a, b) and (a, b, b) have the same set
+        # but different counts, so a counting transition is not set-invariant.
+        machine = _machine(
+            lambda state, vector: min(3, sum(1 for m in vector if m == "a")), delta=3
+        )
+        assert not respects_set_semantics(machine)
+
+
+class TestBroadcast:
+    def test_uniform_sender_is_broadcast(self):
+        machine = _machine(lambda state, vector: 0)
+        assert is_broadcast_machine(machine)
+
+    def test_port_dependent_sender_is_not_broadcast(self):
+        machine = _machine(lambda state, vector: 0, message=lambda state, port: ("m", port))
+        assert not is_broadcast_machine(machine)
+
+
+class TestAdaptedAlgorithms:
+    def test_leaf_election_is_set_invariant(self):
+        # Check invariance on realisable inputs: a full-degree node receiving
+        # any permutation of real messages.  (Vectors where padding positions
+        # carry real messages never occur in an execution.)
+        machine = machine_from_algorithm(LeafElectionAlgorithm(), delta_bound=2)
+        states = [machine.initial_state(2)]
+        vectors = [(1, 2), (2, 1), (1, 1), (2, 2)]
+        assert respects_set_semantics(machine, states=states, message_vectors=vectors)
+        assert respects_multiset_semantics(machine, states=states, message_vectors=vectors)
+
+    def test_leaf_election_is_not_broadcast(self):
+        machine = machine_from_algorithm(LeafElectionAlgorithm(), delta_bound=2)
+        states = [machine.initial_state(2)]
+        assert not is_broadcast_machine(machine, states=states)
+
+    def test_odd_odd_is_multiset_but_not_set(self):
+        machine = machine_from_algorithm(OddOddNeighboursAlgorithm(), delta_bound=3)
+        states = [machine.initial_state(3)]
+        vectors = [("odd", "odd", "even"), ("odd", "even", "odd"), ("odd", "even", "even")]
+        assert respects_multiset_semantics(machine, states=states, message_vectors=vectors)
+        assert not respects_set_semantics(machine, states=states, message_vectors=vectors)
+
+    def test_odd_odd_is_broadcast(self):
+        machine = machine_from_algorithm(OddOddNeighboursAlgorithm(), delta_bound=3)
+        states = [machine.initial_state(d) for d in (1, 2, 3)]
+        assert is_broadcast_machine(machine, states=states)
+
+    def test_generic_machine_requires_explicit_samples(self):
+        machine = machine_from_algorithm(LeafElectionAlgorithm(), delta_bound=2)
+        with pytest.raises(ValueError):
+            respects_set_semantics(machine)

@@ -1,0 +1,132 @@
+"""Unit tests for the formal state machine and the Algorithm adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import OddOddNeighboursAlgorithm
+from repro.execution.runner import run
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.machines.algorithm import NO_MESSAGE, Output
+from repro.machines.state_machine import (
+    FiniteStateMachine,
+    algorithm_from_machine,
+    machine_from_algorithm,
+)
+
+
+def _parity_machine(delta: int = 2) -> FiniteStateMachine:
+    """A finite-state SB-style machine: output 1 iff some neighbour has odd degree."""
+
+    def message(state, port):
+        return "O" if state == "odd" else "E"
+
+    def transition(state, vector):
+        return 1 if "O" in set(vector) else 0
+
+    return FiniteStateMachine(
+        delta_bound=delta,
+        intermediate_states=frozenset({"even", "odd"}),
+        stopping_states=frozenset({0, 1}),
+        messages=frozenset({"E", "O"}),
+        initial_states={d: ("odd" if d % 2 else "even") for d in range(delta + 1)},
+        message_table=message,
+        transition_table=transition,
+    )
+
+
+class TestFiniteStateMachine:
+    def test_overlapping_state_sets_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteStateMachine(
+                delta_bound=1,
+                intermediate_states=frozenset({"s"}),
+                stopping_states=frozenset({"s"}),
+                messages=frozenset({"m"}),
+                initial_states={0: "s", 1: "s"},
+                message_table=lambda state, port: "m",
+                transition_table=lambda state, vector: "s",
+            )
+
+    def test_unknown_initial_state_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteStateMachine(
+                delta_bound=1,
+                intermediate_states=frozenset({"s"}),
+                stopping_states=frozenset(),
+                messages=frozenset({"m"}),
+                initial_states={0: "mystery", 1: "s"},
+                message_table=lambda state, port: "m",
+                transition_table=lambda state, vector: "s",
+            )
+
+    def test_all_states(self):
+        machine = _parity_machine()
+        assert machine.all_states() == frozenset({"even", "odd", 0, 1})
+
+    def test_as_state_machine_behaviour(self):
+        generic = _parity_machine().as_state_machine()
+        assert generic.outgoing("odd", 1) == "O"
+        assert generic.outgoing(1, 1) == generic.no_message  # halted nodes send m0
+        assert generic.padded_transition("even", ("O",)) == 1
+        assert generic.padded_transition("even", ("E",)) == 0
+        assert generic.padded_transition(0, ("O",)) == 0  # halted nodes do not move
+
+    def test_padded_transition_rejects_oversized_vectors(self):
+        generic = _parity_machine(delta=1).as_state_machine()
+        with pytest.raises(ValueError):
+            generic.padded_transition("even", ("O", "O"))
+
+
+class TestMachineAsAlgorithm:
+    def test_wrapped_machine_runs(self):
+        algorithm = algorithm_from_machine(_parity_machine(delta=2).as_state_machine())
+        result = run(algorithm, path_graph(3))
+        # Ends of the path have a degree-2 neighbour (even), middle has two odd ones.
+        assert result.outputs == {0: 0, 1: 1, 2: 0}
+
+    def test_wrapped_machine_label(self):
+        algorithm = algorithm_from_machine(
+            _parity_machine().as_state_machine(), label="parity"
+        )
+        assert algorithm.name == "parity"
+
+
+class TestAlgorithmAsMachine:
+    def test_round_trip_preserves_outputs(self):
+        graphs = [star_graph(3), cycle_graph(4), path_graph(4)]
+        for original in (LeafElectionAlgorithm(), OddOddNeighboursAlgorithm()):
+            for graph in graphs:
+                machine = machine_from_algorithm(original, delta_bound=graph.max_degree())
+                wrapped = algorithm_from_machine(machine, label=original.name)
+                assert run(wrapped, graph).outputs == run(original, graph).outputs
+
+    def test_machine_pads_with_no_message(self):
+        machine = machine_from_algorithm(LeafElectionAlgorithm(), delta_bound=3)
+        state = machine.initial_state(1)
+        # A degree-1 node receiving only padding must not be elected.
+        next_state = machine.padded_transition(state, (NO_MESSAGE, NO_MESSAGE, NO_MESSAGE))
+        assert machine.is_stopping(next_state)
+        assert machine.output(next_state) == 0
+
+    def test_halted_adapter_state_is_stable(self):
+        machine = machine_from_algorithm(LeafElectionAlgorithm(), delta_bound=2)
+        state = machine.initial_state(1)
+        halted = machine.padded_transition(state, (1, NO_MESSAGE))
+        assert machine.is_stopping(halted)
+        again = machine.padded_transition(halted, (NO_MESSAGE, NO_MESSAGE))
+        assert again == halted
+        assert machine.outgoing(halted, 1) == NO_MESSAGE
+
+
+class TestOutputProtocol:
+    def test_output_wrapper(self):
+        algorithm = LeafElectionAlgorithm()
+        assert algorithm.is_stopping(Output(1))
+        assert not algorithm.is_stopping("running")
+        assert algorithm.output(Output("value")) == "value"
+
+    def test_output_of_non_stopping_state_raises(self):
+        with pytest.raises(ValueError):
+            LeafElectionAlgorithm().output("running")

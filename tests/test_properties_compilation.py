@@ -1,0 +1,100 @@
+"""Property-based tests for the Theorem 2 compilation (random formulas).
+
+For random formulas of each signature, the compiled local algorithm must agree
+with the model checker on the matching Kripke encoding for every node of a
+random bounded-degree graph -- Theorem 2's "formula -> algorithm" half as a
+hypothesis property.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.execution.runner import run
+from repro.graphs.generators import random_bounded_degree_graph
+from repro.graphs.ports import random_port_numbering
+from repro.logic.semantics import extension
+from repro.logic.syntax import And, Bottom, Diamond, GradedDiamond, Not, Or, Prop, Top
+from repro.machines.models import ProblemClass
+from repro.modal.encoding import kripke_encoding, variant_for_class
+from repro.modal.formula_to_algorithm import algorithm_for_formula
+
+import random
+
+
+@st.composite
+def sb_formulas(draw, depth: int = 2):
+    """Random ML formulas over the SB signature (index (*, *))."""
+    if depth == 0:
+        return draw(st.sampled_from([Prop("deg1"), Prop("deg2"), Prop("deg3"), Top(), Bottom()]))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(sb_formulas(depth=0))
+    if kind == 1:
+        return Not(draw(sb_formulas(depth=depth - 1)))
+    if kind == 2:
+        return And(draw(sb_formulas(depth=depth - 1)), draw(sb_formulas(depth=depth - 1)))
+    if kind == 3:
+        return Or(draw(sb_formulas(depth=depth - 1)), draw(sb_formulas(depth=depth - 1)))
+    return Diamond(draw(sb_formulas(depth=depth - 1)), index=("*", "*"))
+
+
+@st.composite
+def mb_formulas(draw, depth: int = 2):
+    """Random GML formulas over the MB signature."""
+    if depth == 0:
+        return draw(st.sampled_from([Prop("deg1"), Prop("deg2"), Prop("deg3"), Top()]))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(mb_formulas(depth=0))
+    if kind == 1:
+        return Not(draw(mb_formulas(depth=depth - 1)))
+    if kind == 2:
+        return And(draw(mb_formulas(depth=depth - 1)), draw(mb_formulas(depth=depth - 1)))
+    return GradedDiamond(
+        draw(mb_formulas(depth=depth - 1)), grade=draw(st.integers(0, 3)), index=("*", "*")
+    )
+
+
+@st.composite
+def sv_formulas(draw, depth: int = 2):
+    """Random MML formulas over the SV signature (indices (*, j))."""
+    if depth == 0:
+        return draw(st.sampled_from([Prop("deg1"), Prop("deg2"), Prop("deg3"), Top()]))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(sv_formulas(depth=0))
+    if kind == 1:
+        return Not(draw(sv_formulas(depth=depth - 1)))
+    if kind == 2:
+        return And(draw(sv_formulas(depth=depth - 1)), draw(sv_formulas(depth=depth - 1)))
+    return Diamond(draw(sv_formulas(depth=depth - 1)), index=("*", draw(st.integers(1, 3))))
+
+
+def _check(problem_class: ProblemClass, formula, graph_seed: int, numbering_seed: int) -> None:
+    graph = random_bounded_degree_graph(6, 3, seed=graph_seed)
+    numbering = random_port_numbering(graph, random.Random(numbering_seed))
+    algorithm = algorithm_for_formula(formula, problem_class)
+    outputs = run(algorithm, graph, numbering).outputs
+    encoding = kripke_encoding(graph, numbering, variant=variant_for_class(problem_class))
+    truth = extension(encoding, formula)
+    for node in graph.nodes:
+        assert (outputs[node] == 1) == (node in truth)
+
+
+@given(sb_formulas(), st.integers(0, 10_000), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_sb_compilation_matches_semantics(formula, graph_seed, numbering_seed):
+    _check(ProblemClass.SB, formula, graph_seed, numbering_seed)
+
+
+@given(mb_formulas(), st.integers(0, 10_000), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_mb_compilation_matches_semantics(formula, graph_seed, numbering_seed):
+    _check(ProblemClass.MB, formula, graph_seed, numbering_seed)
+
+
+@given(sv_formulas(), st.integers(0, 10_000), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_sv_compilation_matches_semantics(formula, graph_seed, numbering_seed):
+    _check(ProblemClass.SV, formula, graph_seed, numbering_seed)
