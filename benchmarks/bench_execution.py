@@ -1,11 +1,18 @@
 """Benchmark E2 -- the execution engine across the seven models (Figures 3-4, 6).
 
 Runs one-round and multi-round workloads through every receive/send mode on a
-medium-size bounded-degree graph, confirming that the shared engine serves all
-models and measuring the per-round cost of each projection.
+medium-size bounded-degree graph, and times the compiled active-set engine
+against the seed reference runner on identical workloads (the ``runner``
+parameter): these engine/seed pairs are what ``benchmarks/run_all.py`` turns
+into the speedup figures of ``BENCH_<date>.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI size budget.
 """
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
@@ -18,10 +25,22 @@ from repro.algorithms.basic import (
 )
 from repro.algorithms.leaf_election import LeafElectionAlgorithm
 from repro.algorithms.parity import SomeOddNeighbourAlgorithm
+from repro.execution.engine import run_many
+from repro.execution.legacy import run_reference
 from repro.execution.runner import run
 from repro.graphs.generators import random_regular_graph
+from repro.graphs.ports import random_port_numbering
 
-GRAPH = random_regular_graph(3, 150, seed=2)
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+NODES = 30 if SMOKE else 150
+GRAPH = random_regular_graph(3, NODES, seed=2)
+MULTI_ROUNDS = (1, 3) if SMOKE else (1, 5, 25)
+SWEEP_NUMBERINGS = 8 if SMOKE else 40
+SWEEP_ROUNDS = 5
+BATCH_GRAPHS = 4 if SMOKE else 24
+
+RUNNERS = {"engine": run, "seed": run_reference}
 
 ONE_ROUND_ALGORITHMS = {
     "VV (PortEcho)": PortEchoAlgorithm(),
@@ -36,12 +55,44 @@ ONE_ROUND_ALGORITHMS = {
 @pytest.mark.parametrize("label", list(ONE_ROUND_ALGORITHMS), ids=list(ONE_ROUND_ALGORITHMS))
 def test_one_round_execution_per_model(benchmark, label):
     algorithm = ONE_ROUND_ALGORITHMS[label]
+    benchmark.extra_info["nodes"] = NODES
     result = benchmark(run, algorithm, GRAPH)
     assert result.halted and result.rounds <= 1
 
 
-@pytest.mark.parametrize("rounds", [1, 5, 25], ids=lambda r: f"T{r}")
-def test_multi_round_execution_scales_linearly(benchmark, rounds):
+@pytest.mark.parametrize("runner", list(RUNNERS), ids=list(RUNNERS))
+@pytest.mark.parametrize("rounds", MULTI_ROUNDS, ids=lambda r: f"T{r}")
+def test_multi_round_execution_scales_linearly(benchmark, rounds, runner):
     algorithm = RoundCounterAlgorithm(rounds)
-    result = benchmark(run, algorithm, GRAPH)
+    benchmark.extra_info["sync_rounds"] = rounds
+    benchmark.extra_info["nodes"] = NODES
+    result = benchmark(RUNNERS[runner], algorithm, GRAPH)
     assert result.rounds == rounds
+
+
+@pytest.mark.parametrize("runner", list(RUNNERS), ids=list(RUNNERS))
+def test_adversarial_numbering_sweep(benchmark, runner):
+    """An experiment-shaped workload: one algorithm, one graph, many
+    numberings -- the shape of every `solves` / `worst_case_running_time`
+    sweep.  Uses the batch API with the engine selected by the parameter."""
+    rng = random.Random(7)
+    numberings = [random_port_numbering(GRAPH, rng=rng) for _ in range(SWEEP_NUMBERINGS)]
+    instances = [(GRAPH, numbering) for numbering in numberings]
+    algorithm = RoundCounterAlgorithm(SWEEP_ROUNDS)
+    engine = "compiled" if runner == "engine" else "reference"
+    benchmark.extra_info["sync_rounds"] = SWEEP_ROUNDS * len(instances)
+    benchmark.extra_info["nodes"] = NODES
+
+    results = benchmark(lambda: run_many(algorithm, instances, engine=engine))
+    assert all(result.rounds == SWEEP_ROUNDS for result in results)
+
+
+def test_run_many_batch_over_graph_family(benchmark):
+    """Batch execution over a family of distinct graphs (hierarchy-survey
+    shape); topology compilation is amortized per graph inside the batch."""
+    graphs = [random_regular_graph(3, NODES, seed=seed) for seed in range(BATCH_GRAPHS)]
+    algorithm = NeighbourDegreeSumAlgorithm()
+    benchmark.extra_info["nodes"] = NODES * BATCH_GRAPHS
+
+    results = benchmark(run_many, algorithm, graphs)
+    assert all(result.halted for result in results)

@@ -2,14 +2,30 @@
 
 Times the mechanical re-derivation of the linear order
 SB ⊊ MB = VB ⊊ SV = MV = VV ⊊ VVc from checked simulations and bisimulation
-witnesses, and each separation certificate on its own.
+witnesses, and each separation certificate on its own.  The execution-bound
+containment verification (the adversarial simulation sweeps of Theorems 4, 8
+and 9) is additionally timed under both the compiled engine and the seed
+reference runner -- the pair feeds the speedup figures of ``BENCH_*.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments.e03_hierarchy import build_classification
+from repro.algorithms.basic import (
+    BroadcastMinimumDegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    PortEchoAlgorithm,
+)
+from repro.core.simulations import (
+    simulate_broadcast_with_multiset_broadcast,
+    simulate_multiset_with_set,
+    simulate_vector_with_multiset,
+)
+from repro.execution.adversary import port_numberings_to_check
+from repro.execution.engine import run_many
+from repro.experiments.e03_hierarchy import build_classification, verify_containments
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.separations import matchless_separation, odd_odd_separation, star_separation
 
 
@@ -17,6 +33,47 @@ def test_full_classification(benchmark):
     report = benchmark(build_classification)
     assert report.all_verified()
     assert len(report.rows()) == 6
+
+
+@pytest.mark.parametrize("engine", ["compiled", "reference"], ids=["engine", "seed"])
+def test_containment_verification(benchmark, engine):
+    """End-to-end containment check, numbering enumeration included."""
+    assert benchmark(verify_containments, engine)
+
+
+# The adversarial instance list of the containment check (e03), built once:
+# the pair below times the *runner* on this fixed workload -- every simulated
+# algorithm plus its inner reference algorithm over every numbering.
+_SWEEP_GRAPHS = (star_graph(3), path_graph(4), cycle_graph(4))
+_SWEEP_INSTANCES = [
+    (graph, numbering)
+    for graph in _SWEEP_GRAPHS
+    for numbering in port_numberings_to_check(graph, exhaustive_limit=200, samples=10)
+]
+_SWEEP_ALGORITHMS = [
+    simulate_multiset_with_set(GatherDegreesAlgorithm(), delta=3),
+    GatherDegreesAlgorithm(),
+    simulate_vector_with_multiset(PortEchoAlgorithm()),
+    PortEchoAlgorithm(),
+    simulate_broadcast_with_multiset_broadcast(BroadcastMinimumDegreeAlgorithm()),
+    BroadcastMinimumDegreeAlgorithm(),
+]
+
+
+@pytest.mark.parametrize("engine", ["compiled", "reference"], ids=["engine", "seed"])
+def test_containment_execution_sweep(benchmark, engine):
+    """The execution half of the containment check as a pure runner workload."""
+
+    def sweep():
+        halted = True
+        for algorithm in _SWEEP_ALGORITHMS:
+            results = run_many(
+                algorithm, _SWEEP_INSTANCES, engine=engine, memoize_transitions=True
+            )
+            halted &= all(result.halted for result in results)
+        return halted
+
+    assert benchmark(sweep)
 
 
 @pytest.mark.parametrize(

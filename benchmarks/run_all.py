@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Run every benchmark and emit a machine-readable ``BENCH_<date>.json``.
+
+The emitted file records, per benchmark module, the wall time of the pytest
+run and the per-test timing statistics, plus two derived sections:
+
+* ``pairs`` -- every engine-vs-seed benchmark pair (same test, same
+  parameters, only the runner differs) with its speedup ``seed_mean /
+  engine_mean``; and
+* ``summary`` -- headline numbers: the speedups of the dedicated
+  runner-bound pairs and rounds/second throughput for the multi-round
+  execution benchmarks (tests exporting ``sync_rounds`` in ``extra_info``).
+
+Usage::
+
+    python benchmarks/run_all.py                    # full sizes
+    python benchmarks/run_all.py --smoke            # tiny CI budget
+    python benchmarks/run_all.py --out BENCH.json   # explicit output path
+
+CI runs the smoke mode on every PR and uploads the JSON as an artifact, so
+the performance trajectory is tracked from PR to PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: Engine/seed parameter spellings used by the paired benchmarks.
+_NEW_VALUES = {"engine", "compiled"}
+_OLD_VALUES = {"seed", "reference"}
+
+
+def discover_benchmarks() -> list[Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_benchmark_file(path: Path, smoke: bool) -> tuple[dict, float]:
+    """Run one benchmark module under pytest-benchmark, return (json, wall_s)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        json_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(path),
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "--benchmark-warmup=off",
+    ]
+    if smoke:
+        command += ["--benchmark-min-rounds=1", "--benchmark-max-time=0.1"]
+    else:
+        command += ["--benchmark-min-rounds=5", "--benchmark-max-time=2"]
+    started = time.perf_counter()
+    proc = subprocess.run(command, cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+    wall = time.perf_counter() - started
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"benchmark {path.name} failed (exit {proc.returncode})")
+    try:
+        with open(json_path) as fh:
+            data = json.load(fh)
+    finally:
+        os.unlink(json_path)
+    return data, wall
+
+
+def summarize_file(name: str, data: dict, wall: float) -> dict:
+    tests = []
+    for bench in data.get("benchmarks", []):
+        stats = bench["stats"]
+        entry = {
+            "name": bench["name"],
+            "params": bench.get("params") or {},
+            "mean_s": stats["mean"],
+            "median_s": stats["median"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+        extra = bench.get("extra_info") or {}
+        if "sync_rounds" in extra:
+            entry["sync_rounds"] = extra["sync_rounds"]
+            entry["rounds_per_sec"] = extra["sync_rounds"] / stats["mean"]
+        if "nodes" in extra:
+            entry["nodes"] = extra["nodes"]
+        tests.append(entry)
+    return {"wall_time_s": round(wall, 3), "tests": tests}
+
+
+def _pair_key(test: dict) -> tuple:
+    """Identity of a benchmark modulo the engine/seed parameter."""
+    params = {
+        key: value
+        for key, value in test["params"].items()
+        if value not in _NEW_VALUES | _OLD_VALUES
+    }
+    base_name = test["name"].split("[")[0]
+    return base_name, tuple(sorted(params.items()))
+
+
+def derive_pairs(benches: dict) -> list[dict]:
+    pairs = []
+    for file_name, payload in benches.items():
+        grouped: dict[tuple, dict[str, dict]] = {}
+        for test in payload["tests"]:
+            runner_values = [
+                value
+                for value in test["params"].values()
+                if value in _NEW_VALUES | _OLD_VALUES
+            ]
+            if not runner_values:
+                continue
+            side = "new" if runner_values[0] in _NEW_VALUES else "old"
+            grouped.setdefault(_pair_key(test), {})[side] = test
+        for (base_name, params), sides in sorted(grouped.items()):
+            if "new" in sides and "old" in sides:
+                new, old = sides["new"], sides["old"]
+                pairs.append(
+                    {
+                        "file": file_name,
+                        "benchmark": base_name,
+                        "params": dict(params),
+                        "engine_mean_s": new["mean_s"],
+                        "seed_mean_s": old["mean_s"],
+                        "engine_median_s": new["median_s"],
+                        "seed_median_s": old["median_s"],
+                        # medians: robust to noisy-neighbour outlier rounds
+                        "speedup": round(old["median_s"] / new["median_s"], 2),
+                        "speedup_mean": round(old["mean_s"] / new["mean_s"], 2),
+                    }
+                )
+    return pairs
+
+
+def derive_summary(benches: dict, pairs: list[dict]) -> dict:
+    # The dedicated runner-bound pairs: pure execution workloads where the
+    # only variable is the runner (multi-round loops, adversarial sweeps).
+    runner_bound = [
+        pair
+        for pair in pairs
+        if pair["benchmark"]
+        in (
+            "test_multi_round_execution_scales_linearly",
+            "test_adversarial_numbering_sweep",
+            "test_containment_execution_sweep",
+        )
+    ]
+    throughput = []
+    for file_name, payload in benches.items():
+        for test in payload["tests"]:
+            if "rounds_per_sec" in test:
+                runner = [v for v in test["params"].values() if v in _NEW_VALUES | _OLD_VALUES]
+                if runner and runner[0] in _OLD_VALUES:
+                    continue
+                throughput.append(
+                    {
+                        "file": file_name,
+                        "name": test["name"],
+                        "rounds_per_sec": round(test["rounds_per_sec"], 1),
+                    }
+                )
+    speedups = [pair["speedup"] for pair in runner_bound]
+    summary: dict = {
+        "runner_bound_pairs": runner_bound,
+        "rounds_per_sec": throughput,
+    }
+    if speedups:
+        summary["min_runner_speedup"] = min(speedups)
+        summary["max_runner_speedup"] = max(speedups)
+        geomean = 1.0
+        for value in speedups:
+            geomean *= value
+        summary["geomean_runner_speedup"] = round(geomean ** (1 / len(speedups)), 2)
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny size budget (CI smoke job)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run a single bench module, e.g. --only bench_execution",
+    )
+    args = parser.parse_args()
+
+    date = datetime.date.today().isoformat()
+    out_path = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{date}.json"
+
+    files = discover_benchmarks()
+    if args.only:
+        files = [path for path in files if path.stem == args.only]
+        if not files:
+            raise SystemExit(f"no benchmark module named {args.only!r}")
+
+    benches: dict[str, dict] = {}
+    for path in files:
+        print(f"[run_all] {path.name} ...", flush=True)
+        data, wall = run_benchmark_file(path, smoke=args.smoke)
+        benches[path.stem] = summarize_file(path.stem, data, wall)
+        print(f"[run_all] {path.name}: {wall:.1f}s", flush=True)
+
+    pairs = derive_pairs(benches)
+    report = {
+        "date": date,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": args.smoke,
+        "benches": benches,
+        "pairs": pairs,
+        "summary": derive_summary(benches, pairs),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"[run_all] wrote {out_path}")
+    if pairs:
+        for pair in pairs:
+            tag = ",".join(f"{k}={v}" for k, v in pair["params"].items()) or "-"
+            print(
+                f"[run_all]   {pair['file']}::{pair['benchmark']}[{tag}] "
+                f"speedup {pair['speedup']}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

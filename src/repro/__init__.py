@@ -65,7 +65,7 @@ from repro.machines import (
     VectorAlgorithm,
 )
 from repro.machines.algorithm import Output
-from repro.execution import ExecutionResult, run
+from repro.execution import CompiledInstance, ExecutionResult, run, run_many
 from repro.logic import KripkeModel, extension, parse_formula, satisfies
 from repro.modal import algorithm_for_formula, formula_for_machine, kripke_encoding
 from repro.core import (
@@ -102,8 +102,10 @@ __all__ = [
     "SetBroadcastAlgorithm",
     "VectorAlgorithm",
     "Output",
+    "CompiledInstance",
     "ExecutionResult",
     "run",
+    "run_many",
     "KripkeModel",
     "extension",
     "parse_formula",

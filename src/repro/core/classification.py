@@ -16,11 +16,12 @@ order can be re-derived mechanically by :func:`build_classification`.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.execution.adversary import port_numberings_to_check
+from repro.execution.engine import run_iter
 from repro.execution.runner import run
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
@@ -54,6 +55,9 @@ class ContainmentEvidence:
         outputs_valid: Callable[[Graph, PortNumbering, dict[Node, Any]], bool],
         exhaustive_limit: int = 200,
         samples: int = 10,
+        workers: int | None = None,
+        engine: str = "compiled",
+        memoize_transitions: bool = True,
     ) -> bool:
         """Check that the simulation preserves solution validity on the inputs.
 
@@ -62,14 +66,28 @@ class ContainmentEvidence:
         against the original algorithm's execution under the same numbering
         (or under any numbering sharing its output-port assignment, which is
         the guarantee Theorem 8 actually gives).
+
+        The adversarial sweep runs through the batch engine; a simulation
+        that fails to halt counts as a failed verification.
         """
         for algorithm in algorithms:
             simulated = self.simulate(algorithm)
             for graph in graphs:
-                for numbering in port_numberings_to_check(
-                    graph, exhaustive_limit=exhaustive_limit, samples=samples
-                ):
-                    result = run(simulated, graph, numbering)
+                numberings = list(
+                    port_numberings_to_check(
+                        graph, exhaustive_limit=exhaustive_limit, samples=samples
+                    )
+                )
+                results = run_iter(
+                    simulated,
+                    [(graph, numbering) for numbering in numberings],
+                    require_halt=False,
+                    workers=workers,
+                    engine=engine,
+                    memoize_transitions=memoize_transitions,
+                )
+                # run_iter is lazy: stop at the first invalid simulation run.
+                for numbering, result in zip(numberings, results):
                     if not result.halted or not outputs_valid(graph, numbering, result.outputs):
                         return False
         return True
@@ -138,28 +156,49 @@ class SeparationEvidence:
         return True
 
     def solver_succeeds(
-        self, graphs: Sequence[Graph], exhaustive_limit: int = 200, samples: int = 10
+        self,
+        graphs: Sequence[Graph],
+        exhaustive_limit: int = 200,
+        samples: int = 10,
+        workers: int | None = None,
+        engine: str = "compiled",
+        memoize_transitions: bool = True,
     ) -> bool:
         """Membership in the larger class: the solver is valid on all inputs."""
         for graph in graphs:
-            for numbering in port_numberings_to_check(
-                graph,
-                consistent_only=self.larger.requires_consistency,
-                exhaustive_limit=exhaustive_limit,
-                samples=samples,
-            ):
-                result = run(self.solver, graph, numbering)
+            results = run_iter(
+                self.solver,
+                [
+                    (graph, numbering)
+                    for numbering in port_numberings_to_check(
+                        graph,
+                        consistent_only=self.larger.requires_consistency,
+                        exhaustive_limit=exhaustive_limit,
+                        samples=samples,
+                    )
+                ],
+                require_halt=False,
+                workers=workers,
+                engine=engine,
+                memoize_transitions=memoize_transitions,
+            )
+            for result in results:
                 if not result.halted or not self.is_valid_solution(graph, result.outputs):
                     return False
         return True
 
-    def verify(self, graphs: Sequence[Graph] | None = None) -> bool:
+    def verify(
+        self,
+        graphs: Sequence[Graph] | None = None,
+        workers: int | None = None,
+        engine: str = "compiled",
+    ) -> bool:
         """Replay the whole separation argument."""
         test_graphs = list(graphs) if graphs is not None else [self.witness_graph]
         return (
             self.witness_bisimilar()
             and self.solutions_must_distinguish()
-            and self.solver_succeeds(test_graphs)
+            and self.solver_succeeds(test_graphs, workers=workers, engine=engine)
         )
 
 

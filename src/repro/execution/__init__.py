@@ -1,14 +1,29 @@
 """Synchronous execution of distributed algorithms on port-numbered graphs.
 
-* :mod:`~repro.execution.runner` -- the execution engine (Section 1.3): state
-  vectors, synchronous rounds, stopping detection.
+* :mod:`~repro.execution.engine` -- the compiled batch engine: flat-array
+  instance compilation, the active-set round loop and the :func:`run_many`
+  batch API.
+* :mod:`~repro.execution.runner` -- the single-instance front door
+  (Section 1.3): state vectors, synchronous rounds, stopping detection.
+* :mod:`~repro.execution.legacy` -- the seed reference loop, kept as a
+  differential-testing oracle and benchmark baseline.
 * :mod:`~repro.execution.trace` -- execution traces and message-size
   accounting used by the simulation-overhead experiments.
 * :mod:`~repro.execution.adversary` -- adversarial execution over all (or
   sampled) port numberings of a graph.
 """
 
-from repro.execution.runner import ExecutionError, ExecutionResult, run
+from repro.execution.engine import (
+    CompiledInstance,
+    ExecutionError,
+    ExecutionResult,
+    compile_instance,
+    execute,
+    run_iter,
+    run_many,
+)
+from repro.execution.runner import run
+from repro.execution.legacy import run_reference
 from repro.execution.trace import Trace, message_size
 from repro.execution.adversary import (
     outputs_over_port_numberings,
@@ -16,9 +31,15 @@ from repro.execution.adversary import (
 )
 
 __all__ = [
+    "CompiledInstance",
     "ExecutionError",
     "ExecutionResult",
+    "compile_instance",
+    "execute",
     "run",
+    "run_iter",
+    "run_many",
+    "run_reference",
     "Trace",
     "message_size",
     "outputs_over_port_numberings",

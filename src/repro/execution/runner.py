@@ -1,4 +1,4 @@
-"""The synchronous execution engine (Section 1.3).
+"""The synchronous execution engine (Section 1.3) -- compatibility front door.
 
 Given an algorithm ``A``, a graph ``G`` and a port numbering ``p``, the
 execution proceeds in synchronous rounds: every node sends a message through
@@ -8,51 +8,36 @@ algorithm sees (vector / multiset / set) and whether it may address output
 ports individually is determined by the algorithm's model -- the engine itself
 is shared by all seven classes, mirroring the way the paper compares them on
 identical inputs.
+
+:func:`run` is a thin wrapper over the compiled engine of
+:mod:`repro.execution.engine`: it compiles ``(graph, numbering)`` into flat
+index arrays and executes the active-set round loop.  The original
+dictionary-based loop survives as :func:`repro.execution.legacy.run_reference`
+for differential tests and speedup benchmarks; batch workloads should use
+:func:`repro.execution.engine.run_many` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
 from repro.graphs.graph import Graph, Node
-from repro.graphs.ports import PortNumbering, consistent_port_numbering
-from repro.machines.algorithm import NO_MESSAGE, Algorithm
-from repro.machines.models import SendMode
-from repro.execution.trace import Trace
+from repro.graphs.ports import PortNumbering
+from repro.machines.algorithm import Algorithm
+from repro.execution.engine import (
+    DEFAULT_MAX_ROUNDS,
+    ExecutionError,
+    ExecutionResult,
+    compiled_for,
+    execute,
+)
 
-#: Default bound on the number of rounds before the runner gives up.
-DEFAULT_MAX_ROUNDS = 10_000
-
-
-class ExecutionError(RuntimeError):
-    """Raised when an execution does not halt within the round budget."""
-
-
-@dataclass
-class ExecutionResult:
-    """The outcome of running an algorithm on ``(G, p)``.
-
-    Attributes
-    ----------
-    outputs:
-        The local output ``S(v)`` of every node (defined only if ``halted``).
-    rounds:
-        The time ``T`` at which the last node stopped.
-    halted:
-        Whether every node reached a stopping state within the round budget.
-    trace:
-        The full execution trace, if recording was requested.
-    """
-
-    outputs: dict[Node, Any]
-    rounds: int
-    halted: bool
-    trace: Trace | None = None
-
-    def output_vector(self) -> dict[Node, Any]:
-        """Alias for :attr:`outputs` (the solution ``S`` of Section 1.4)."""
-        return self.outputs
+__all__ = [
+    "DEFAULT_MAX_ROUNDS",
+    "ExecutionError",
+    "ExecutionResult",
+    "run",
+]
 
 
 def run(
@@ -82,82 +67,19 @@ def run(
         Whether to record a full :class:`~repro.execution.trace.Trace`.
     require_halt:
         If ``True`` (default), raise :class:`ExecutionError` when the bound is
-        exceeded; otherwise return a result with ``halted=False``.
+        exceeded; otherwise return a result with ``halted=False``, the partial
+        outputs of the nodes that did stop, and the final ``states`` of all
+        nodes.
     inputs:
         Optional local inputs ``f(u)`` (Section 3.4, labelled graphs).  When
         given, the initial state of node ``u`` is
         ``algorithm.initial_state_with_input(deg(u), inputs.get(u))``.
     """
-    if numbering is None:
-        numbering = consistent_port_numbering(graph)
-    elif numbering.graph != graph:
-        raise ValueError("the port numbering belongs to a different graph")
-
-    broadcast = algorithm.model.send is SendMode.BROADCAST
-    if inputs is None:
-        states: dict[Node, Any] = {
-            node: algorithm.initial_state(graph.degree(node)) for node in graph.nodes
-        }
-    else:
-        states = {
-            node: algorithm.initial_state_with_input(graph.degree(node), inputs.get(node))
-            for node in graph.nodes
-        }
-    trace = Trace() if record_trace else None
-    if trace is not None:
-        trace.state_history.append(dict(states))
-        trace.received_messages.append({})
-
-    rounds = 0
-    while not all(algorithm.is_stopping(states[node]) for node in graph.nodes):
-        if rounds >= max_rounds:
-            if require_halt:
-                raise ExecutionError(
-                    f"{algorithm.name} did not halt on {graph!r} within {max_rounds} rounds"
-                )
-            return ExecutionResult(outputs={}, rounds=rounds, halted=False, trace=trace)
-        rounds += 1
-
-        # Message construction: what each node emits through each output port.
-        outgoing: dict[tuple[Node, int], Any] = {}
-        for node in graph.nodes:
-            state = states[node]
-            degree = graph.degree(node)
-            if algorithm.is_stopping(state):
-                for port in range(1, degree + 1):
-                    outgoing[(node, port)] = NO_MESSAGE
-            elif broadcast:
-                message = algorithm.broadcast(state)
-                for port in range(1, degree + 1):
-                    outgoing[(node, port)] = message
-            else:
-                for port in range(1, degree + 1):
-                    outgoing[(node, port)] = algorithm.send(state, port)
-
-        # Message delivery: input port (u, i) receives from p^{-1}((u, i)).
-        received: dict[tuple[Node, int], Any] = {}
-        for node in graph.nodes:
-            for in_port in range(1, graph.degree(node) + 1):
-                source, out_port = numbering.inverse(node, in_port)
-                received[(node, in_port)] = outgoing[(source, out_port)]
-
-        # State transition on the model-specific projection of the received vector.
-        new_states: dict[Node, Any] = {}
-        for node in graph.nodes:
-            state = states[node]
-            if algorithm.is_stopping(state):
-                new_states[node] = state
-                continue
-            vector = tuple(
-                received[(node, in_port)] for in_port in range(1, graph.degree(node) + 1)
-            )
-            projected = algorithm.model.receive.project(vector)
-            new_states[node] = algorithm.transition(state, projected)
-        states = new_states
-
-        if trace is not None:
-            trace.state_history.append(dict(states))
-            trace.received_messages.append(received)
-
-    outputs = {node: algorithm.output(states[node]) for node in graph.nodes}
-    return ExecutionResult(outputs=outputs, rounds=rounds, halted=True, trace=trace)
+    return execute(
+        algorithm,
+        compiled_for(graph, numbering),
+        max_rounds=max_rounds,
+        record_trace=record_trace,
+        require_halt=require_halt,
+        inputs=inputs,
+    )

@@ -20,7 +20,9 @@ from repro.core.simulations import (
     simulate_multiset_with_set,
     simulate_vector_with_multiset,
 )
-from repro.execution.runner import run as run_algorithm
+from repro.execution.engine import compiled_for, execute
+from repro.execution.legacy import run_reference
+from repro.machines.fastpath import fast_path
 from repro.experiments.report import ExperimentResult
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
 from repro.graphs.graph import Graph
@@ -30,8 +32,27 @@ from repro.separations.witnesses import all_separations
 _TEST_GRAPHS: tuple[Graph, ...] = (star_graph(3), path_graph(4), cycle_graph(4))
 
 
-def _containment_evidences() -> list[tuple[ContainmentEvidence, bool]]:
-    """The three simulation constructions, checked on concrete inputs."""
+def _containment_evidences(
+    workers: int | None = None, engine: str = "compiled"
+) -> list[tuple[ContainmentEvidence, bool]]:
+    """The three simulation constructions, checked on concrete inputs.
+
+    The adversarial sweeps (simulation runs *and* the reference executions
+    the validity predicates compare against) go through the selected engine,
+    so benchmarks can time the compiled and the seed runner on the identical
+    workload.
+    """
+    if engine == "compiled":
+        # One memoizing fast-path wrapper per inner algorithm: the reference
+        # executions the validity predicates need share projection and
+        # transition caches across the whole adversarial sweep.
+        def reference_runner(algorithm):
+            fast = fast_path(algorithm, memoize_transitions=True)
+            return lambda graph, numbering: execute(fast, compiled_for(graph, numbering))
+    else:
+        def reference_runner(algorithm):
+            return lambda graph, numbering: run_reference(algorithm, graph, numbering)
+
     checked: list[tuple[ContainmentEvidence, bool]] = []
 
     # Theorem 4: MV ⊆ SV.  A Multiset algorithm's output is numbering-invariant
@@ -44,11 +65,21 @@ def _containment_evidences() -> list[tuple[ContainmentEvidence, bool]]:
         simulate=lambda alg: simulate_multiset_with_set(alg, delta=3),
     )
 
+    run_multiset_inner = reference_runner(multiset_inner)
+
     def multiset_outputs_valid(graph: Graph, numbering, outputs: dict) -> bool:
-        reference = run_algorithm(multiset_inner, graph, numbering).outputs
+        reference = run_multiset_inner(graph, numbering).outputs
         return outputs == reference
 
-    checked.append((evidence, evidence.verify([multiset_inner], _TEST_GRAPHS, multiset_outputs_valid)))
+    checked.append(
+        (
+            evidence,
+            evidence.verify(
+                [multiset_inner], _TEST_GRAPHS, multiset_outputs_valid,
+                workers=workers, engine=engine,
+            ),
+        )
+    )
 
     # Theorem 8: VV ⊆ MV.  The simulated output must coincide with the original
     # algorithm's output under *some* port numbering with the same output-port
@@ -71,7 +102,15 @@ def _containment_evidences() -> list[tuple[ContainmentEvidence, bool]]:
                 return False
         return True
 
-    checked.append((evidence8, evidence8.verify([vector_inner], _TEST_GRAPHS, vector_outputs_valid)))
+    checked.append(
+        (
+            evidence8,
+            evidence8.verify(
+                [vector_inner], _TEST_GRAPHS, vector_outputs_valid,
+                workers=workers, engine=engine,
+            ),
+        )
+    )
 
     # Theorem 9: VB ⊆ MB.  The minimum-degree workload is numbering-invariant.
     broadcast_inner = BroadcastMinimumDegreeAlgorithm()
@@ -82,22 +121,42 @@ def _containment_evidences() -> list[tuple[ContainmentEvidence, bool]]:
         simulate=simulate_broadcast_with_multiset_broadcast,
     )
 
+    run_broadcast_inner = reference_runner(broadcast_inner)
+
     def broadcast_outputs_valid(graph: Graph, numbering, outputs: dict) -> bool:
-        reference = run_algorithm(broadcast_inner, graph, numbering).outputs
+        reference = run_broadcast_inner(graph, numbering).outputs
         return outputs == reference
 
     checked.append(
-        (evidence9, evidence9.verify([broadcast_inner], _TEST_GRAPHS, broadcast_outputs_valid))
+        (
+            evidence9,
+            evidence9.verify(
+                [broadcast_inner], _TEST_GRAPHS, broadcast_outputs_valid,
+                workers=workers, engine=engine,
+            ),
+        )
     )
     return checked
 
 
-def build_classification() -> ClassificationReport:
+def verify_containments(engine: str = "compiled", workers: int | None = None) -> bool:
+    """Check the three simulation constructions (execution-bound workload).
+
+    Exposed separately so benchmarks can time the adversarial execution
+    sweeps under either engine without the (engine-independent) bisimulation
+    work of the separation certificates.
+    """
+    return all(ok for _, ok in _containment_evidences(workers=workers, engine=engine))
+
+
+def build_classification(
+    workers: int | None = None, engine: str = "compiled"
+) -> ClassificationReport:
     """Assemble and verify the full classification."""
     report = ClassificationReport()
-    report.containments.extend(_containment_evidences())
+    report.containments.extend(_containment_evidences(workers=workers, engine=engine))
     for evidence in all_separations():
-        report.separations.append((evidence, evidence.verify()))
+        report.separations.append((evidence, evidence.verify(workers=workers, engine=engine)))
     return report
 
 

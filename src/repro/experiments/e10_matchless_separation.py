@@ -19,7 +19,9 @@ from repro.problems.verification import solves, worst_case_running_time
 from repro.separations.matchless import matchless_separation
 
 
-def run() -> ExperimentResult:
+def run(workers: int | None = None) -> ExperimentResult:
+    """Replay the separation; the adversarial sweeps go through the compiled
+    batch engine and can be fanned out over ``workers`` processes."""
     result = ExperimentResult(
         experiment_id="E10",
         title="Symmetry breaking on matchless regular graphs: in VVc(1), not in VV",
@@ -44,8 +46,10 @@ def run() -> ExperimentResult:
     problem = SymmetryBreakingInMatchlessRegular()
     solver = LocalTypeSymmetryBreaking()
     graphs = [graph, cycle_graph(4), path_graph(3)]
-    in_vvc = solves(solver, problem, graphs, consistent_only=True, samples=10)
-    runtime = worst_case_running_time(solver, graphs, consistent_only=True, samples=5)
+    in_vvc = solves(solver, problem, graphs, consistent_only=True, samples=10, workers=workers)
+    runtime = worst_case_running_time(
+        solver, graphs, consistent_only=True, samples=5, workers=workers
+    )
     result.add(
         "membership: the local-type algorithm solves the problem assuming consistency",
         "Pi in VVc(1), two rounds",

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import random
 
+from repro.algorithms.parity import SomeOddNeighbourAlgorithm
+from repro.execution.engine import run_many
 from repro.experiments.report import ExperimentResult
 from repro.graphs.generators import random_bounded_degree_graph
 from repro.logic.bisimulation import (
@@ -42,8 +44,17 @@ def run() -> ExperimentResult:
         paper_reference="Section 4.2, Fact 1",
     )
     rng = random.Random(12)
-    for trial in range(3):
-        graph = random_bounded_degree_graph(10, 3, seed=rng.randint(0, 10_000))
+    # The whole survey is one batch: generate every trial graph up front and
+    # run the SB sanity algorithm over all of them in a single run_many sweep
+    # (the execution half of Fact 1: an SB algorithm cannot distinguish
+    # worlds that are bisimilar in the K-,- encoding -- Corollary 3's logic
+    # side, checked against real executions).
+    graphs = [
+        random_bounded_degree_graph(10, 3, seed=rng.randint(0, 10_000)) for _ in range(3)
+    ]
+    sb_algorithm = SomeOddNeighbourAlgorithm()
+    sb_results = run_many(sb_algorithm, graphs)
+    for trial, graph in enumerate(graphs):
         encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
 
         partition = bisimilarity_partition(encoding)
@@ -67,6 +78,19 @@ def run() -> ExperimentResult:
             f"certificate={certificate_ok}, invariance={invariant}, "
             f"classes={len(set(partition.values()))}/{len(encoding.worlds)}",
             certificate_ok and invariant,
+        )
+
+        # Execution side of the same fact: an SB algorithm's output is a
+        # function of the node's K-,- bisimilarity class.
+        outputs = sb_results[trial].outputs
+        execution_invariant = all(
+            outputs[v] == outputs[w] for v, w in relation if v in outputs and w in outputs
+        )
+        result.add(
+            f"trial {trial}: SB execution invariance",
+            "bisimilar worlds get equal SB-algorithm outputs (Corollary 3)",
+            f"invariant={execution_invariant}, algorithm={sb_algorithm.name}",
+            execution_invariant,
         )
 
         graded_partition = bisimilarity_partition(encoding, graded=True)

@@ -43,7 +43,12 @@ class Graph:
     [1, 3]
     """
 
-    __slots__ = ("_adjacency", "_nodes", "_edges", "_hash")
+    # ``__weakref__`` lets the execution engine keep a weak per-graph cache of
+    # compiled topology (repro.execution.engine) without pinning graphs alive;
+    # ``_default_compiled`` caches the compiled instance for the canonical
+    # consistent numbering directly on the graph (owned by the engine), so its
+    # lifetime is exactly the graph's.
+    __slots__ = ("_adjacency", "_nodes", "_edges", "_hash", "_default_compiled", "__weakref__")
 
     def __init__(
         self,
@@ -70,6 +75,7 @@ class Graph:
                     edge_list.append((u, v))
         self._edges: tuple[Edge, ...] = tuple(edge_list)
         self._hash: int | None = None
+        self._default_compiled: Any = None
 
     # ------------------------------------------------------------------ #
     # Basic queries
@@ -293,6 +299,21 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Value-object protocol
     # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Engine caches are process-local; keep pickled payloads lean.
+        return {
+            "_adjacency": self._adjacency,
+            "_nodes": self._nodes,
+            "_edges": self._edges,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._adjacency = state["_adjacency"]
+        self._nodes = state["_nodes"]
+        self._edges = state["_edges"]
+        self._hash = None
+        self._default_compiled = None
 
     def __contains__(self, node: Node) -> bool:
         return node in self._adjacency

@@ -45,7 +45,10 @@ class PortNumbering:
         consistent port numbering.
     """
 
-    __slots__ = ("_graph", "_outgoing", "_incoming", "_incoming_index")
+    # ``_compiled_instance`` is a cache slot owned by the execution engine
+    # (repro.execution.engine): compiling a numbering into flat delivery
+    # arrays is pure, so the result can live with the numbering itself.
+    __slots__ = ("_graph", "_outgoing", "_incoming", "_incoming_index", "_compiled_instance")
 
     def __init__(
         self,
@@ -60,6 +63,7 @@ class PortNumbering:
         else:
             self._incoming = {node: tuple(incoming.get(node, ())) for node in graph.nodes}
         self._validate()
+        self._compiled_instance = None
         self._incoming_index = {
             node: {neighbour: j + 1 for j, neighbour in enumerate(self._incoming[node])}
             for node in graph.nodes
@@ -151,6 +155,25 @@ class PortNumbering:
     def incoming_assignment(self) -> dict[Node, tuple[Node, ...]]:
         """The per-node input-port assignment (copy)."""
         return dict(self._incoming)
+
+    def __getstate__(self) -> dict:
+        # The engine's compiled-instance cache is process-local; keep pickled
+        # payloads lean and rebuild the derived index on the other side.
+        return {
+            "_graph": self._graph,
+            "_outgoing": self._outgoing,
+            "_incoming": self._incoming,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._graph = state["_graph"]
+        self._outgoing = state["_outgoing"]
+        self._incoming = state["_incoming"]
+        self._compiled_instance = None
+        self._incoming_index = {
+            node: {neighbour: j + 1 for j, neighbour in enumerate(self._incoming[node])}
+            for node in self._graph.nodes
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PortNumbering):

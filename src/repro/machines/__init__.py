@@ -37,6 +37,7 @@ from repro.machines.state_machine import (
     machine_from_algorithm,
 )
 from repro.machines.adapters import ModelUpcast, as_model
+from repro.machines.fastpath import FastPathAlgorithm, fast_path
 from repro.machines.inspection import (
     is_broadcast_machine,
     respects_multiset_semantics,
@@ -59,6 +60,8 @@ __all__ = [
     "VectorAlgorithm",
     "ModelUpcast",
     "as_model",
+    "FastPathAlgorithm",
+    "fast_path",
     "FiniteStateMachine",
     "StateMachine",
     "algorithm_from_machine",

@@ -5,6 +5,11 @@ family and *every* port numbering (only consistent ones if the VVc convention
 is used), the execution halts and its output lies in ``Pi(G)``.  These
 functions check that condition over a supplied, finite collection of graphs --
 exhaustively over port numberings when feasible, by seeded sampling otherwise.
+
+The per-graph sweep over port numberings is executed through the compiled
+batch engine (:func:`repro.execution.engine.run_many`): the graph topology is
+compiled once and shared by every numbering, and the sweep can be fanned out
+over ``workers`` processes for large families.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.execution.adversary import port_numberings_to_check
-from repro.execution.runner import ExecutionError, run
+from repro.execution.engine import run_iter, run_many
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
 from repro.machines.algorithm import Algorithm
@@ -28,6 +33,9 @@ def find_counterexample(
     exhaustive_limit: int = 2_000,
     samples: int = 50,
     max_rounds: int = 10_000,
+    workers: int | None = None,
+    engine: str = "compiled",
+    memoize_transitions: bool = True,
 ) -> tuple[Graph, PortNumbering, dict[Node, Any] | None] | None:
     """The first input on which the algorithm fails, or ``None`` if none is found.
 
@@ -35,15 +43,26 @@ def find_counterexample(
     of the returned triple is then ``None``) or an invalid output.
     """
     for graph in graphs:
-        for numbering in port_numberings_to_check(
-            graph,
-            consistent_only=consistent_only,
-            exhaustive_limit=exhaustive_limit,
-            samples=samples,
-        ):
-            try:
-                result = run(algorithm, graph, numbering, max_rounds=max_rounds)
-            except ExecutionError:
+        numberings = list(
+            port_numberings_to_check(
+                graph,
+                consistent_only=consistent_only,
+                exhaustive_limit=exhaustive_limit,
+                samples=samples,
+            )
+        )
+        results = run_iter(
+            algorithm,
+            [(graph, numbering) for numbering in numberings],
+            max_rounds=max_rounds,
+            require_halt=False,
+            workers=workers,
+            engine=engine,
+            memoize_transitions=memoize_transitions,
+        )
+        # run_iter is lazy: the sweep short-circuits at the first failure.
+        for numbering, result in zip(numberings, results):
+            if not result.halted:
                 return graph, numbering, None
             if not problem.is_solution(graph, result.outputs):
                 return graph, numbering, result.outputs
@@ -58,6 +77,9 @@ def solves(
     exhaustive_limit: int = 2_000,
     samples: int = 50,
     max_rounds: int = 10_000,
+    workers: int | None = None,
+    engine: str = "compiled",
+    memoize_transitions: bool = True,
 ) -> bool:
     """Whether the algorithm solves the problem on every tested input."""
     return (
@@ -69,6 +91,9 @@ def solves(
             exhaustive_limit=exhaustive_limit,
             samples=samples,
             max_rounds=max_rounds,
+            workers=workers,
+            engine=engine,
+            memoize_transitions=memoize_transitions,
         )
         is None
     )
@@ -81,16 +106,30 @@ def worst_case_running_time(
     exhaustive_limit: int = 2_000,
     samples: int = 50,
     max_rounds: int = 10_000,
+    workers: int | None = None,
+    engine: str = "compiled",
+    memoize_transitions: bool = True,
 ) -> int:
     """The maximum number of rounds over all tested inputs (for locality checks)."""
     worst = 0
     for graph in graphs:
-        for numbering in port_numberings_to_check(
-            graph,
-            consistent_only=consistent_only,
-            exhaustive_limit=exhaustive_limit,
-            samples=samples,
-        ):
-            result = run(algorithm, graph, numbering, max_rounds=max_rounds)
-            worst = max(worst, result.rounds)
+        results = run_many(
+            algorithm,
+            [
+                (graph, numbering)
+                for numbering in port_numberings_to_check(
+                    graph,
+                    consistent_only=consistent_only,
+                    exhaustive_limit=exhaustive_limit,
+                    samples=samples,
+                )
+            ],
+            max_rounds=max_rounds,
+            workers=workers,
+            engine=engine,
+            memoize_transitions=memoize_transitions,
+        )
+        for result in results:
+            if result.rounds > worst:
+                worst = result.rounds
     return worst
