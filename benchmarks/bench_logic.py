@@ -1,0 +1,98 @@
+"""Benchmark -- the compiled logic engine vs the seed implementations.
+
+Times the two logic-layer workhorses on identical workloads under both
+backends (the ``runner`` parameter selects ``compiled`` vs ``reference``):
+
+* **model checking** -- a batch of formulas covering every constructor,
+  evaluated over the K-,- encoding of a random bounded-degree graph with one
+  shared subformula cache (:func:`repro.logic.engine.check_many`);
+* **partition refinement** -- plain, graded and bounded bisimilarity on the
+  same encodings (:func:`repro.logic.bisimulation.bisimilarity_partition`).
+
+``benchmarks/run_all.py`` pairs the two runners per workload into the
+logic-layer speedup figures of ``BENCH_<date>.json`` (``logic_bound_pairs`` /
+``geomean_logic_speedup``), alongside the execution runner's pairs.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI size budget.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs.generators import random_bounded_degree_graph, random_regular_graph
+from repro.logic.bisimulation import bisimilarity_partition, bounded_bisimilarity_partition
+from repro.logic.engine import ENGINES, check_many
+from repro.logic.syntax import And, Box, Diamond, GradedDiamond, Implies, Not, Or, Prop
+from repro.modal.encoding import KripkeVariant, kripke_encoding
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+CHECK_SIZES = (40, 120) if SMOKE else (100, 400, 800)
+REFINE_SIZES = (40, 120) if SMOKE else (100, 400)
+BOUNDED_ROUNDS = (2,) if SMOKE else (2, 6)
+BOUNDED_NODES = 80 if SMOKE else 300
+
+_INDEX = ("*", "*")
+
+
+def _formula_suite() -> list:
+    """A batch exercising every constructor, with shared subformulas."""
+    deg1, deg2, deg3 = Prop("deg1"), Prop("deg2"), Prop("deg3")
+    some_deg3 = Diamond(deg3, index=_INDEX)
+    formulas = [
+        some_deg3,
+        Box(Or(deg2, deg3), index=_INDEX),
+        GradedDiamond(deg3, grade=2, index=_INDEX),
+        GradedDiamond(some_deg3, grade=2, index=_INDEX),
+        Diamond(And(deg2, Not(some_deg3)), index=_INDEX),
+        Implies(deg1, Diamond(Diamond(deg1, index=_INDEX), index=_INDEX)),
+        Not(Box(Not(And(deg3, some_deg3)), index=_INDEX)),
+        Diamond(Box(Implies(deg2, some_deg3), index=_INDEX), index=_INDEX),
+    ]
+    return formulas
+
+
+def _encoding(size: int, seed: int):
+    graph = random_bounded_degree_graph(size, 3, seed=seed)
+    return kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+
+
+@pytest.mark.parametrize("runner", ENGINES, ids=ENGINES)
+@pytest.mark.parametrize("size", CHECK_SIZES, ids=lambda n: f"n{n}")
+def test_model_checking_batch(benchmark, runner, size):
+    model = _encoding(size, seed=size)
+    formulas = _formula_suite()
+    benchmark.extra_info["nodes"] = size
+    extensions = benchmark(check_many, model, formulas, runner)
+    assert len(extensions) == len(formulas)
+
+
+@pytest.mark.parametrize("runner", ENGINES, ids=ENGINES)
+@pytest.mark.parametrize("size", REFINE_SIZES, ids=lambda n: f"n{n}")
+def test_partition_refinement(benchmark, runner, size):
+    model = _encoding(size, seed=size)
+    benchmark.extra_info["nodes"] = size
+    partition = benchmark(bisimilarity_partition, model, False, runner)
+    assert len(partition) == len(model.worlds)
+
+
+@pytest.mark.parametrize("runner", ENGINES, ids=ENGINES)
+@pytest.mark.parametrize("size", REFINE_SIZES, ids=lambda n: f"n{n}")
+def test_graded_partition_refinement(benchmark, runner, size):
+    model = _encoding(size, seed=size)
+    benchmark.extra_info["nodes"] = size
+    partition = benchmark(bisimilarity_partition, model, True, runner)
+    assert len(partition) == len(model.worlds)
+
+
+@pytest.mark.parametrize("runner", ENGINES, ids=ENGINES)
+@pytest.mark.parametrize("rounds", BOUNDED_ROUNDS, ids=lambda r: f"k{r}")
+def test_bounded_graded_refinement(benchmark, runner, rounds):
+    graph = random_regular_graph(3, BOUNDED_NODES, seed=9)
+    model = kripke_encoding(graph, variant=KripkeVariant.NEITHER)
+    benchmark.extra_info["nodes"] = BOUNDED_NODES
+    partition = benchmark(bounded_bisimilarity_partition, model, rounds, True, runner)
+    assert len(partition) == BOUNDED_NODES

@@ -151,6 +151,13 @@ def derive_pairs(benches: dict) -> list[dict]:
     return pairs
 
 
+def _geomean(values: list[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1 / len(values))
+
+
 def derive_summary(benches: dict, pairs: list[dict]) -> dict:
     # The dedicated runner-bound pairs: pure execution workloads where the
     # only variable is the runner (multi-round loops, adversarial sweeps).
@@ -164,6 +171,9 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
             "test_containment_execution_sweep",
         )
     ]
+    # The logic-layer pairs: model checking and partition refinement, where
+    # the only variable is the logic engine (compiled bitsets vs seed).
+    logic_bound = [pair for pair in pairs if pair["file"] == "bench_logic"]
     throughput = []
     for file_name, payload in benches.items():
         for test in payload["tests"]:
@@ -181,15 +191,18 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
     speedups = [pair["speedup"] for pair in runner_bound]
     summary: dict = {
         "runner_bound_pairs": runner_bound,
+        "logic_bound_pairs": logic_bound,
         "rounds_per_sec": throughput,
     }
     if speedups:
         summary["min_runner_speedup"] = min(speedups)
         summary["max_runner_speedup"] = max(speedups)
-        geomean = 1.0
-        for value in speedups:
-            geomean *= value
-        summary["geomean_runner_speedup"] = round(geomean ** (1 / len(speedups)), 2)
+        summary["geomean_runner_speedup"] = round(_geomean(speedups), 2)
+    logic_speedups = [pair["speedup"] for pair in logic_bound]
+    if logic_speedups:
+        summary["min_logic_speedup"] = min(logic_speedups)
+        summary["max_logic_speedup"] = max(logic_speedups)
+        summary["geomean_logic_speedup"] = round(_geomean(logic_speedups), 2)
     return summary
 
 

@@ -131,12 +131,17 @@ class SeparationEvidence:
     is_valid_solution: Callable[[Graph, dict[Node, Any]], bool]
     numbering: PortNumbering | None = None
 
-    def witness_bisimilar(self) -> bool:
-        """Corollary 3's hypothesis: the witness nodes are bisimilar in the weak encoding."""
+    def witness_bisimilar(self, logic_engine: str = "compiled") -> bool:
+        """Corollary 3's hypothesis: the witness nodes are bisimilar in the weak encoding.
+
+        ``logic_engine`` selects the partition-refinement backend
+        (``"compiled"`` bitset engine or the ``"reference"`` seed loop),
+        mirroring the execution-side ``engine`` knob.
+        """
         model = kripke_encoding(
             self.witness_graph, self.numbering, variant=variant_for_class(self.smaller)
         )
-        return bisimilar_within(model, self.witness_nodes)
+        return bisimilar_within(model, self.witness_nodes, engine=logic_engine)
 
     def solutions_must_distinguish(self) -> bool:
         """Corollary 3's other hypothesis, checked via the validity predicate.
@@ -193,10 +198,15 @@ class SeparationEvidence:
         workers: int | None = None,
         engine: str = "compiled",
     ) -> bool:
-        """Replay the whole separation argument."""
+        """Replay the whole separation argument.
+
+        ``engine`` selects both the execution runner and the logic backend,
+        so the full argument can be A/B-checked against the seed
+        implementations.
+        """
         test_graphs = list(graphs) if graphs is not None else [self.witness_graph]
         return (
-            self.witness_bisimilar()
+            self.witness_bisimilar(logic_engine=engine)
             and self.solutions_must_distinguish()
             and self.solver_succeeds(test_graphs, workers=workers, engine=engine)
         )

@@ -8,13 +8,21 @@ Checks both halves of the capture theorem on concrete inputs:
 * algorithm -> formula: a small finite-state machine is compiled into a
   formula whose modal depth equals the running time and whose extension
   matches the machine's output.
+
+The formula side runs on the compiled bitset model checker and the
+executions stream through the batch engine (both via
+:mod:`repro.modal.correspondence`); a final row cross-checks the compiled
+checker against the seed reference checker on every encoding the experiment
+touches.
 """
 
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult
 from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.logic.engine import check_many
 from repro.logic.syntax import And, Diamond, GradedDiamond, Not, Prop, Top, modal_depth
+from repro.modal.encoding import kripke_encoding, variant_for_class
 from repro.machines.models import ProblemClass
 from repro.machines.state_machine import FiniteStateMachine, algorithm_from_machine
 from repro.modal.algorithm_to_formula import formula_for_machine
@@ -77,6 +85,27 @@ def run() -> ExperimentResult:
             f"agrees={matches}, time={runtime} <= {bound}",
             matches and runtime <= bound,
         )
+
+    # Differential sanity for the logic engine itself: on every encoding the
+    # experiment uses, the compiled bitset checker and the seed reference
+    # checker must produce identical extensions (batched per model).
+    by_variant: dict = {}
+    for case_class, formula in _FORMULA_CASES:
+        by_variant.setdefault(variant_for_class(case_class), []).append(formula)
+    engines_agree = True
+    for variant, formulas in by_variant.items():
+        for graph in _GRAPHS:
+            encoding = kripke_encoding(graph, variant=variant)
+            if check_many(encoding, formulas, engine="compiled") != check_many(
+                encoding, formulas, engine="reference"
+            ):
+                engines_agree = False
+    result.add(
+        "compiled checker == seed checker",
+        "bitset engine and reference agree on every E4 encoding",
+        f"agree={engines_agree} over {len(_GRAPHS)} graphs x {len(by_variant)} encodings",
+        engines_agree,
+    )
 
     machine = _tiny_machine()
     formula = formula_for_machine(machine, ProblemClass.SB, running_time=1)

@@ -12,12 +12,11 @@ Measures the two costs the paper discusses:
 
 from __future__ import annotations
 
-from repro.algorithms.basic import RoundCounterAlgorithm
 from repro.core.simulations import (
     simulate_broadcast_with_multiset_broadcast,
     simulate_vector_with_multiset,
 )
-from repro.execution.runner import run as run_algorithm
+from repro.execution.engine import CompiledInstance, compiled_for, execute
 from repro.experiments.report import ExperimentResult
 from repro.graphs.generators import cycle_graph
 from repro.machines.algorithm import BroadcastAlgorithm, Output, VectorAlgorithm
@@ -57,11 +56,14 @@ class _BroadcastRoundCounter(BroadcastAlgorithm):
         return Output(elapsed) if elapsed >= self._rounds else elapsed
 
 
-def _measure(simulated_factory, inner_factory, rounds: int) -> tuple[int, int]:
-    graph = cycle_graph(6)
+def _measure(
+    simulated_factory, inner_factory, rounds: int, compiled: CompiledInstance
+) -> tuple[int, int]:
+    # The whole T-sweep shares one compiled instance of the cycle: the
+    # topology is compiled once and only the simulated algorithm varies.
     inner = inner_factory(rounds)
     simulation = simulated_factory(inner)
-    result = run_algorithm(simulation, graph, record_trace=True)
+    result = execute(simulation, compiled, record_trace=True)
     return result.rounds, result.trace.max_message_size()
 
 
@@ -71,10 +73,11 @@ def run() -> ExperimentResult:
         title="History simulations: Vector->Multiset and Broadcast->MB",
         paper_reference="Theorems 8-9, Corollary 10, Remark 4, Section 5.4",
     )
+    compiled = compiled_for(cycle_graph(6))
     sizes_vector = []
     for rounds in (1, 2, 4, 8):
         total_rounds, message_size_measured = _measure(
-            simulate_vector_with_multiset, _VectorRoundCounter, rounds
+            simulate_vector_with_multiset, _VectorRoundCounter, rounds, compiled
         )
         sizes_vector.append(message_size_measured)
         result.add(
@@ -94,7 +97,7 @@ def run() -> ExperimentResult:
     sizes_broadcast = []
     for rounds in (1, 2, 4, 8):
         total_rounds, message_size_measured = _measure(
-            simulate_broadcast_with_multiset_broadcast, _BroadcastRoundCounter, rounds
+            simulate_broadcast_with_multiset_broadcast, _BroadcastRoundCounter, rounds, compiled
         )
         sizes_broadcast.append(message_size_measured)
         result.add(

@@ -19,7 +19,7 @@ from repro.logic.bisimulation import (
     is_bisimulation,
     is_graded_bisimulation,
 )
-from repro.logic.semantics import extension
+from repro.logic.engine import check_many
 from repro.logic.syntax import And, Diamond, GradedDiamond, Not, Prop
 from repro.modal.encoding import KripkeVariant, kripke_encoding
 
@@ -66,9 +66,10 @@ def run() -> ExperimentResult:
         ]
         certificate_ok = is_bisimulation(encoding, encoding, relation)
 
+        # All sample formulas are checked as one batch over the encoding,
+        # sharing the compiled model and one subformula cache.
         invariant = True
-        for formula in _sample_formulas(encoding.indices, graded=False):
-            truth = extension(encoding, formula)
+        for truth in check_many(encoding, _sample_formulas(encoding.indices, graded=False)):
             for v, w in relation:
                 if (v in truth) != (w in truth):
                     invariant = False
@@ -102,8 +103,7 @@ def run() -> ExperimentResult:
         ]
         graded_certificate = is_graded_bisimulation(encoding, encoding, graded_relation)
         graded_invariant = True
-        for formula in _sample_formulas(encoding.indices, graded=True):
-            truth = extension(encoding, formula)
+        for truth in check_many(encoding, _sample_formulas(encoding.indices, graded=True)):
             for v, w in graded_relation:
                 if (v in truth) != (w in truth):
                     graded_invariant = False

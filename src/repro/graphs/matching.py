@@ -130,6 +130,122 @@ def one_factorisation(graph: Graph) -> list[Matching]:
 
 
 # ---------------------------------------------------------------------- #
+# Injections along an allowed relation (Hall's marriage theorem)
+# ---------------------------------------------------------------------- #
+
+
+def _hopcroft_karp_size(adjacency: list[list[int]], num_targets: int) -> int:
+    """Size of a maximum matching of the bipartite graph ``adjacency``.
+
+    ``adjacency[i]`` lists the target indices reachable from source ``i``.
+    Pure-python Hopcroft-Karp: BFS builds layers from free sources, DFS
+    augments along vertex-disjoint shortest paths, ``O(E * sqrt(V))`` total.
+    """
+    num_sources = len(adjacency)
+    INF = num_sources + num_targets + 1
+    match_source = [-1] * num_sources
+    match_target = [-1] * num_targets
+    distance = [0] * num_sources
+    matched = 0
+    while True:
+        queue = []
+        for i in range(num_sources):
+            if match_source[i] == -1:
+                distance[i] = 0
+                queue.append(i)
+            else:
+                distance[i] = INF
+        found_free_target = False
+        head = 0
+        while head < len(queue):
+            i = queue[head]
+            head += 1
+            for j in adjacency[i]:
+                partner = match_target[j]
+                if partner == -1:
+                    found_free_target = True
+                elif distance[partner] == INF:
+                    distance[partner] = distance[i] + 1
+                    queue.append(partner)
+        if not found_free_target:
+            return matched
+
+        def augment(root: int) -> bool:
+            # Iterative DFS along the BFS layers (augmenting paths can be as
+            # long as the vertex count, so recursion would overflow the
+            # interpreter stack on large instances).  ``choices[k]`` is the
+            # edge taken from stack level ``k`` into level ``k + 1``.
+            stack = [(root, iter(adjacency[root]))]
+            choices: list[tuple[int, int]] = []
+            while stack:
+                i, targets_iter = stack[-1]
+                for j in targets_iter:
+                    partner = match_target[j]
+                    if partner == -1:
+                        # Free target: flip every edge along the path.
+                        match_source[i] = j
+                        match_target[j] = i
+                        for path_source, path_target in choices:
+                            match_source[path_source] = path_target
+                            match_target[path_target] = path_source
+                        return True
+                    if distance[partner] == distance[i] + 1:
+                        choices.append((i, j))
+                        stack.append((partner, iter(adjacency[partner])))
+                        break
+                else:
+                    distance[i] = INF
+                    stack.pop()
+                    if choices:
+                        choices.pop()
+            return False
+
+        for i in range(num_sources):
+            if match_source[i] == -1 and augment(i):
+                matched += 1
+
+
+def injection_exists(
+    sources: Iterable,
+    targets: Iterable,
+    allowed: "set[tuple]",
+) -> bool:
+    """Whether every source can be matched to a *distinct* allowed target.
+
+    By Hall's marriage theorem this decides conditions B2*/B3* of graded
+    bisimulations (Section 4.2): the subsets-of-successors quantifier holds
+    iff the sources inject into the targets along the ``allowed`` relation.
+    A greedy first-fit pass handles the common case where ``allowed``
+    already pairs each source with a distinct target; only on a greedy
+    conflict does the full Hopcroft-Karp matching run.
+    """
+    source_list = list(sources)
+    target_list = list(targets)
+    if len(source_list) > len(target_list):
+        return False
+    if not source_list:
+        return True
+    adjacency: list[list[int]] = []
+    for source in source_list:
+        row = [j for j, target in enumerate(target_list) if (source, target) in allowed]
+        if not row:
+            return False
+        adjacency.append(row)
+    # Greedy early exit: assign each source the first unused allowed target.
+    used: set[int] = set()
+    for row in adjacency:
+        for j in row:
+            if j not in used:
+                used.add(j)
+                break
+        else:
+            break
+    else:
+        return True
+    return _hopcroft_karp_size(adjacency, len(target_list)) == len(adjacency)
+
+
+# ---------------------------------------------------------------------- #
 # Vertex covers
 # ---------------------------------------------------------------------- #
 

@@ -14,6 +14,11 @@ This subpackage implements all four over a single formula AST
 (:mod:`~repro.logic.semantics`), a concrete text syntax
 (:mod:`~repro.logic.parser`) and the (graded) bisimulation machinery of
 Section 4.2 (:mod:`~repro.logic.bisimulation`).
+
+The hot paths -- model checking and partition refinement -- run on the
+compiled bitset engine (:mod:`~repro.logic.engine`); the seed
+implementations are preserved as differential oracles and every public
+entry point takes an ``engine="compiled" | "reference"`` knob.
 """
 
 from repro.logic.syntax import (
@@ -34,7 +39,8 @@ from repro.logic.syntax import (
     modal_depth,
 )
 from repro.logic.kripke import KripkeModel
-from repro.logic.semantics import extension, satisfies
+from repro.logic.engine import CompiledKripke, check_many, check_sweep, compile_kripke
+from repro.logic.semantics import equivalent_on, extension, satisfies
 from repro.logic.parser import parse_formula
 from repro.logic.bisimulation import (
     are_bisimilar,
@@ -62,6 +68,11 @@ __all__ = [
     "logic_of",
     "modal_depth",
     "KripkeModel",
+    "CompiledKripke",
+    "check_many",
+    "check_sweep",
+    "compile_kripke",
+    "equivalent_on",
     "extension",
     "satisfies",
     "parse_formula",

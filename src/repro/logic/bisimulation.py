@@ -14,8 +14,15 @@ Two tools are provided:
   a bisimulation (conditions B1-B3) or a graded bisimulation (B1, B2*, B3*).
   Conditions B2*/B3* quantify over all subsets of the successor sets; by
   Hall's marriage theorem they are equivalent to the existence of an injection
-  of ``R(v)`` into ``R'(v')`` along ``Z`` (and vice versa), which is what the
-  checker computes via bipartite matching.
+  of ``R(v)`` into ``R'(v')`` along ``Z`` (and vice versa), which the checker
+  decides with :func:`repro.graphs.matching.injection_exists`.
+
+The public refinement functions are thin wrappers over the signature-hash
+engine of :mod:`repro.logic.engine` (``engine="compiled"``, the default) and
+reproduce the seed implementation's block numbering exactly; the seed
+refinement loop is preserved as :func:`reference_bisimilarity_partition` /
+:func:`reference_bounded_bisimilarity_partition` and serves as the
+differential-testing oracle.
 
 Fact 1 of the paper -- bisimilar worlds satisfy the same ML/MML formulas and
 g-bisimilar worlds the same GML/GMML formulas -- is exercised as a
@@ -27,9 +34,16 @@ from __future__ import annotations
 from collections import Counter
 from collections.abc import Hashable, Iterable
 
-from repro.logic.kripke import Index, KripkeModel, World
+from repro.graphs.matching import injection_exists
+from repro.logic.engine import check_engine, compile_kripke
+from repro.logic.kripke import KripkeModel, World
 
 Partition = dict[World, int]
+
+
+# ---------------------------------------------------------------------- #
+# Reference partition refinement (seed implementation, differential oracle)
+# ---------------------------------------------------------------------- #
 
 
 def _initial_partition(model: KripkeModel) -> Partition:
@@ -69,8 +83,8 @@ def _partition_sizes(partition: Partition) -> int:
     return len(set(partition.values()))
 
 
-def bisimilarity_partition(model: KripkeModel, graded: bool = False) -> Partition:
-    """The coarsest (graded) bisimilarity equivalence, as a world-to-block map."""
+def reference_bisimilarity_partition(model: KripkeModel, graded: bool = False) -> Partition:
+    """The seed fixpoint refinement loop, kept as the differential oracle."""
     partition = _initial_partition(model)
     while True:
         refined = _refine_once(model, partition, graded)
@@ -79,15 +93,10 @@ def bisimilarity_partition(model: KripkeModel, graded: bool = False) -> Partitio
         partition = refined
 
 
-def bounded_bisimilarity_partition(
+def reference_bounded_bisimilarity_partition(
     model: KripkeModel, rounds: int, graded: bool = False
 ) -> Partition:
-    """The ``rounds``-round (graded) bisimilarity equivalence.
-
-    Worlds in the same block cannot be separated by any formula of modal depth
-    at most ``rounds`` (of the matching logic), hence by any local algorithm of
-    the matching class running for at most ``rounds`` rounds (Theorem 2).
-    """
+    """The seed ``rounds``-round refinement, kept as the differential oracle."""
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
     partition = _initial_partition(model)
@@ -96,21 +105,58 @@ def bounded_bisimilarity_partition(
     return partition
 
 
-def bisimilarity_classes(model: KripkeModel, graded: bool = False) -> list[frozenset[World]]:
+# ---------------------------------------------------------------------- #
+# Public refinement API (engine-backed)
+# ---------------------------------------------------------------------- #
+
+
+def bisimilarity_partition(
+    model: KripkeModel, graded: bool = False, engine: str = "compiled"
+) -> Partition:
+    """The coarsest (graded) bisimilarity equivalence, as a world-to-block map."""
+    check_engine(engine)
+    if engine == "reference":
+        return reference_bisimilarity_partition(model, graded=graded)
+    return compile_kripke(model).bisimilarity_partition(graded=graded)
+
+
+def bounded_bisimilarity_partition(
+    model: KripkeModel, rounds: int, graded: bool = False, engine: str = "compiled"
+) -> Partition:
+    """The ``rounds``-round (graded) bisimilarity equivalence.
+
+    Worlds in the same block cannot be separated by any formula of modal depth
+    at most ``rounds`` (of the matching logic), hence by any local algorithm of
+    the matching class running for at most ``rounds`` rounds (Theorem 2).
+    """
+    check_engine(engine)
+    if engine == "reference":
+        return reference_bounded_bisimilarity_partition(model, rounds, graded=graded)
+    return compile_kripke(model).bisimilarity_partition(graded=graded, rounds=rounds)
+
+
+def bisimilarity_classes(
+    model: KripkeModel, graded: bool = False, engine: str = "compiled"
+) -> list[frozenset[World]]:
     """The (graded) bisimilarity equivalence classes."""
-    partition = bisimilarity_partition(model, graded=graded)
+    partition = bisimilarity_partition(model, graded=graded, engine=engine)
     blocks: dict[int, set[World]] = {}
     for world, block in partition.items():
         blocks.setdefault(block, set()).add(world)
     return [frozenset(worlds) for _, worlds in sorted(blocks.items())]
 
 
-def bisimilar_within(model: KripkeModel, worlds: Iterable[World], graded: bool = False) -> bool:
+def bisimilar_within(
+    model: KripkeModel,
+    worlds: Iterable[World],
+    graded: bool = False,
+    engine: str = "compiled",
+) -> bool:
     """Whether all the given worlds of one model are pairwise (graded) bisimilar."""
     worlds = list(worlds)
     if len(worlds) <= 1:
         return True
-    partition = bisimilarity_partition(model, graded=graded)
+    partition = bisimilarity_partition(model, graded=graded, engine=engine)
     return len({partition[world] for world in worlds}) == 1
 
 
@@ -120,6 +166,7 @@ def are_bisimilar(
     second_model: KripkeModel,
     second_world: World,
     graded: bool = False,
+    engine: str = "compiled",
 ) -> bool:
     """Whether two pointed models are (graded) bisimilar.
 
@@ -127,7 +174,7 @@ def are_bisimilar(
     bisimilarity partition of the union is consulted.
     """
     union = first_model.disjoint_union(second_model)
-    partition = bisimilarity_partition(union, graded=graded)
+    partition = bisimilarity_partition(union, graded=graded, engine=engine)
     return partition[(0, first_world)] == partition[(1, second_world)]
 
 
@@ -173,32 +220,6 @@ def is_bisimulation(
     return True
 
 
-def _has_injection(
-    sources: tuple[World, ...],
-    targets: tuple[World, ...],
-    allowed: set[tuple[World, World]],
-) -> bool:
-    """Whether every source can be matched to a distinct allowed target (Hall)."""
-    import networkx as nx
-
-    if len(sources) > len(targets):
-        return False
-    if not sources:
-        return True
-    graph = nx.Graph()
-    source_labels = [("s", i) for i in range(len(sources))]
-    target_labels = [("t", j) for j in range(len(targets))]
-    graph.add_nodes_from(source_labels, bipartite=0)
-    graph.add_nodes_from(target_labels, bipartite=1)
-    for i, source in enumerate(sources):
-        for j, target in enumerate(targets):
-            if (source, target) in allowed:
-                graph.add_edge(("s", i), ("t", j))
-    matching = nx.bipartite.maximum_matching(graph, top_nodes=source_labels)
-    matched_sources = sum(1 for node in matching if node in set(source_labels))
-    return matched_sources == len(sources)
-
-
 def is_graded_bisimulation(
     first_model: KripkeModel,
     second_model: KripkeModel,
@@ -211,7 +232,8 @@ def is_graded_bisimulation(
     ``Z``-partners of ``X`` (and symmetrically).  By Hall's marriage theorem
     this holds if and only if ``R(v)`` injects into ``R'(v')`` along ``Z`` and
     ``R'(v')`` injects into ``R(v)`` along ``Z^{-1}``; the checker verifies the
-    two injections with bipartite matching.
+    two injections with the shared bipartite-matching helper (greedy early
+    exit, then Hopcroft-Karp).
     """
     pairs = set(relation)
     if not pairs:
@@ -224,8 +246,8 @@ def is_graded_bisimulation(
         for index in indices:
             forward = first_model.successors(v, index)
             backward = second_model.successors(v_prime, index)
-            if not _has_injection(forward, backward, pairs):
+            if not injection_exists(forward, backward, pairs):
                 return False
-            if not _has_injection(backward, forward, inverse_pairs):
+            if not injection_exists(backward, forward, inverse_pairs):
                 return False
     return True

@@ -32,7 +32,11 @@ class KripkeModel:
         Propositions absent from the mapping are false everywhere.
     """
 
-    __slots__ = ("_worlds", "_relations", "_successors", "_valuation")
+    # ``_compiled`` caches the flat-array form built by
+    # :func:`repro.logic.engine.compile_kripke` (owned by the logic engine),
+    # mirroring ``Graph._default_compiled`` in the execution engine; its
+    # lifetime is exactly the model's.
+    __slots__ = ("_worlds", "_relations", "_successors", "_valuation", "_compiled")
 
     def __init__(
         self,
@@ -68,6 +72,7 @@ class KripkeModel:
                     raise ValueError(f"valuation of {prop!r} mentions unknown worlds {unknown!r}")
                 val[prop] = extent_set
         self._valuation = val
+        self._compiled: Any = None
 
     # ------------------------------------------------------------------ #
     # Queries

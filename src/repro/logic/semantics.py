@@ -1,17 +1,30 @@
 """The model checker: Kripke semantics for ML, GML, MML and GMML.
 
-The truth definition follows Section 4.1 of the paper.  The checker computes
-the *extension* ``||phi||_K`` of a formula (the set of worlds where it holds)
-bottom-up over subformulas, memoising intermediate extensions, so evaluating a
-formula of size ``s`` over a model with ``n`` worlds and ``m`` relation pairs
-costs ``O(s * (n + m))``.
+The truth definition follows Section 4.1 of the paper.  The public entry
+points (:func:`extension`, :func:`satisfies`, :func:`equivalent_on`) are thin
+wrappers over the compiled bitset engine (:mod:`repro.logic.engine`); the
+original seed checker is preserved as :func:`reference_extension` and serves
+as the differential-testing oracle (mirroring
+:mod:`repro.execution.legacy` on the execution side).  Every wrapper takes an
+``engine="compiled" | "reference"`` knob for A/B tests and benchmarks.
+
+The reference checker computes the *extension* ``||phi||_K`` of a formula
+(the set of worlds where it holds) bottom-up over subformulas, memoising
+intermediate extensions, so evaluating a formula of size ``s`` over a model
+with ``n`` worlds and ``m`` relation pairs costs ``O(s * (n + m))``.
+
+A shared ``_cache`` dictionary may be passed to amortise subformula
+extensions across calls *on the same model*.  Caches are owned by the first
+model they are used with: reusing one cache across two different models used
+to silently return the first model's extensions and now raises
+:class:`ValueError`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
-from typing import Any
 
+from repro.logic.engine import check_engine, compile_kripke
 from repro.logic.kripke import KripkeModel, World
 from repro.logic.syntax import (
     And,
@@ -27,6 +40,23 @@ from repro.logic.syntax import (
     Top,
 )
 
+#: Cache key under which a shared ``_cache`` records the model it belongs to.
+_CACHE_OWNER = object()
+#: Cache key under which the compiled engine keeps its bitset subformula cache.
+_CACHE_BITS = object()
+
+
+def _claim_cache(model: KripkeModel, cache: dict) -> None:
+    """Bind a shared extension cache to its model, rejecting foreign reuse."""
+    owner = cache.get(_CACHE_OWNER)
+    if owner is None:
+        cache[_CACHE_OWNER] = model
+    elif owner is not model and owner != model:
+        raise ValueError(
+            "the extension cache is owned by a different model; "
+            "use one cache per model (cached extensions are model-specific)"
+        )
+
 
 def _resolve_index(model: KripkeModel, index: Hashable) -> Hashable:
     """Resolve a ``None`` modality index to the model's unique relation index."""
@@ -41,8 +71,12 @@ def _resolve_index(model: KripkeModel, index: Hashable) -> Hashable:
     return next(iter(indices))
 
 
-def extension(model: KripkeModel, formula: Formula, _cache: dict | None = None) -> frozenset[World]:
-    """The set ``||formula||_model`` of worlds where the formula is true."""
+def reference_extension(
+    model: KripkeModel, formula: Formula, _cache: dict | None = None
+) -> frozenset[World]:
+    """The seed model checker, kept verbatim as the differential oracle."""
+    if _cache is not None:
+        _claim_cache(model, _cache)
     cache: dict[Formula, frozenset[World]] = _cache if _cache is not None else {}
 
     def evaluate(phi: Formula) -> frozenset[World]:
@@ -96,13 +130,66 @@ def extension(model: KripkeModel, formula: Formula, _cache: dict | None = None) 
     return evaluate(formula)
 
 
-def satisfies(model: KripkeModel, world: World, formula: Formula) -> bool:
-    """Whether ``model, world |= formula``."""
+def extension(
+    model: KripkeModel,
+    formula: Formula,
+    _cache: dict | None = None,
+    engine: str = "compiled",
+) -> frozenset[World]:
+    """The set ``||formula||_model`` of worlds where the formula is true."""
+    check_engine(engine)
+    if engine == "reference":
+        return reference_extension(model, formula, _cache)
+    compiled = compile_kripke(model)
+    if _cache is None:
+        return compiled.extension(formula)
+    _claim_cache(model, _cache)
+    cached = _cache.get(formula)
+    if cached is not None:
+        return cached
+    bits_cache = _cache.get(_CACHE_BITS)
+    if bits_cache is None:
+        bits_cache = _cache[_CACHE_BITS] = {}
+    result = compiled.to_worlds(compiled.extension_bits(formula, bits_cache))
+    _cache[formula] = result
+    return result
+
+
+def satisfies(
+    model: KripkeModel, world: World, formula: Formula, engine: str = "compiled"
+) -> bool:
+    """Whether ``model, world |= formula``.
+
+    The compiled engine answers the single-world query top-down with
+    short-circuiting and memoisation; it does not compute the full extension
+    of the formula over all worlds (which is what the reference checker, and
+    the seed implementation of this function, do).
+    """
     if world not in model.worlds:
         raise ValueError(f"{world!r} is not a world of the model")
-    return world in extension(model, formula)
+    check_engine(engine)
+    if engine == "reference":
+        return world in reference_extension(model, formula)
+    return compile_kripke(model).satisfies(world, formula)
 
 
-def equivalent_on(model: KripkeModel, first: Formula, second: Formula) -> bool:
-    """Whether two formulas have the same extension on ``model``."""
-    return extension(model, first) == extension(model, second)
+def equivalent_on(
+    model: KripkeModel, first: Formula, second: Formula, engine: str = "compiled"
+) -> bool:
+    """Whether two formulas have the same extension on ``model``.
+
+    Both formulas are evaluated with one shared subformula cache, so common
+    subformulas are checked once (the seed implementation evaluated the two
+    formulas with separate caches).
+    """
+    check_engine(engine)
+    if engine == "reference":
+        cache: dict = {}
+        return reference_extension(model, first, cache) == reference_extension(
+            model, second, cache
+        )
+    compiled = compile_kripke(model)
+    bits_cache: dict[Formula, int] = {}
+    return compiled.extension_bits(first, bits_cache) == compiled.extension_bits(
+        second, bits_cache
+    )

@@ -5,18 +5,23 @@ realised by an algorithm and an algorithm can be captured by a formula.  This
 module provides the machinery to *check* such correspondences on concrete
 graph families: evaluate a formula in the class's Kripke encoding, run an
 algorithm under the adversarial port numberings, and compare.
+
+Both halves run on the batch engines: the adversarial executions stream
+through :func:`repro.execution.engine.run_iter` (lazy, so a disagreement
+stops the sweep early) and the formula side is evaluated by the compiled
+bitset model checker (:mod:`repro.logic.engine`), one compiled encoding per
+port numbering.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from typing import Any
+from collections.abc import Iterable, Iterator
 
 from repro.execution.adversary import port_numberings_to_check
-from repro.execution.runner import run
+from repro.execution.engine import DEFAULT_MAX_ROUNDS, run_iter
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
-from repro.logic.semantics import extension
+from repro.logic.engine import check_many
 from repro.logic.syntax import Formula
 from repro.machines.algorithm import Algorithm
 from repro.machines.models import ProblemClass
@@ -34,8 +39,46 @@ def formula_output(
     model = kripke_encoding(
         graph, numbering, variant=variant_for_class(problem_class), delta=delta
     )
-    truth = extension(model, formula)
+    truth = check_many(model, [formula])[0]
     return {node: 1 if node in truth else 0 for node in graph.nodes}
+
+
+def _disagreements(
+    algorithm: Algorithm,
+    formula: Formula,
+    problem_class: ProblemClass,
+    graphs: Iterable[Graph],
+    delta: int | None,
+    exhaustive_limit: int,
+    samples: int,
+    max_rounds: int,
+) -> Iterator[tuple[Graph, PortNumbering, dict[Node, int], dict[Node, int]]]:
+    """Lazily yield the inputs on which algorithm and formula disagree.
+
+    Per graph, the adversarial numberings are enumerated once, the
+    executions run as one lazy ``run_iter`` batch (shared caches across the
+    sweep) and each result is compared against the formula's labelling in
+    the matching compiled Kripke encoding.
+    """
+    for graph in graphs:
+        numberings = list(
+            port_numberings_to_check(
+                graph,
+                consistent_only=problem_class.requires_consistency,
+                exhaustive_limit=exhaustive_limit,
+                samples=samples,
+            )
+        )
+        results = run_iter(
+            algorithm,
+            [(graph, numbering) for numbering in numberings],
+            max_rounds=max_rounds,
+        )
+        for numbering, result in zip(numberings, results):
+            expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
+            actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
+            if actual != expected:
+                yield graph, numbering, expected, actual
 
 
 def algorithm_matches_formula(
@@ -56,19 +99,20 @@ def algorithm_matches_formula(
     than 0/1 are compared against membership: output 1 must coincide with
     truth.
     """
-    for graph in graphs:
-        for numbering in port_numberings_to_check(
-            graph,
-            consistent_only=problem_class.requires_consistency,
-            exhaustive_limit=exhaustive_limit,
-            samples=samples,
-        ):
-            expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
-            result = run(algorithm, graph, numbering, max_rounds=max_rounds)
-            actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
-            if actual != expected:
-                return False
-    return True
+    disagreement = next(
+        _disagreements(
+            algorithm,
+            formula,
+            problem_class,
+            graphs,
+            delta,
+            exhaustive_limit,
+            samples,
+            max_rounds,
+        ),
+        None,
+    )
+    return disagreement is None
 
 
 def disagreement_witness(
@@ -85,16 +129,23 @@ def disagreement_witness(
     Useful for debugging compiled algorithms/formulas: returns the graph, the
     port numbering, the formula's labelling and the algorithm's labelling.
     """
-    for graph in graphs:
-        for numbering in port_numberings_to_check(
-            graph,
-            consistent_only=problem_class.requires_consistency,
-            exhaustive_limit=exhaustive_limit,
-            samples=samples,
-        ):
-            expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
-            result = run(algorithm, graph, numbering)
-            actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
-            if actual != expected:
-                return graph, numbering, expected, actual
-    return None
+    return next(
+        _disagreements(
+            algorithm,
+            formula,
+            problem_class,
+            graphs,
+            delta,
+            exhaustive_limit,
+            samples,
+            DEFAULT_MAX_ROUNDS,
+        ),
+        None,
+    )
+
+
+__all__ = [
+    "algorithm_matches_formula",
+    "disagreement_witness",
+    "formula_output",
+]

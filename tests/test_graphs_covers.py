@@ -118,6 +118,44 @@ class TestLocalViews:
             graph, second, 1, counting=True
         )
 
+    def test_large_radius_views_are_feasible_after_memoization(self):
+        # Regression: the naive recursion rebuilt identical subtrees once per
+        # tree position (3^12 positions at radius 12 on a 3-regular graph);
+        # the memoized builder does n * (radius + 1) subtree constructions.
+        from repro.graphs.generators import random_regular_graph
+
+        graph = random_regular_graph(3, 50, seed=42)
+        views = {node: local_view(graph, node, 12) for node in graph.nodes}
+        assert len(views) == 50
+        # Grouping at the same radius agrees with the per-node views.
+        classes = view_classes(graph, 12)
+        for nodes in classes.values():
+            representative = views[next(iter(nodes))]
+            assert all(views[node] == representative for node in nodes)
+
+    def test_memoized_views_equal_naive_views_at_small_radius(self):
+        def naive(graph, current, depth, counting):
+            if depth == 0:
+                return (graph.degree(current),)
+            children = sorted(
+                naive(graph, n, depth - 1, counting) for n in graph.neighbors(current)
+            )
+            if not counting:
+                children = [
+                    child
+                    for position, child in enumerate(children)
+                    if position == 0 or children[position - 1] != child
+                ]
+            return (graph.degree(current), tuple(children))
+
+        graph = figure9_graph()
+        for counting in (False, True):
+            for radius in range(4):
+                for node in graph.nodes:
+                    assert local_view(graph, node, radius, counting=counting) == naive(
+                        graph, node, radius, counting
+                    )
+
     def test_views_match_bounded_bisimilarity(self):
         graph = figure9_graph()
         encoding = kripke_encoding(graph, variant=KripkeVariant.NEITHER)

@@ -16,6 +16,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.matching import (
+    injection_exists,
     has_perfect_matching,
     is_matching,
     is_perfect_matching,
@@ -101,6 +102,76 @@ class TestOneFactorisation:
     def test_requires_bipartiteness(self):
         with pytest.raises(ValueError):
             one_factorisation(complete_graph(4))
+
+
+class TestInjectionExists:
+    """The Hall-condition helper behind graded-bisimulation certificates."""
+
+    def test_empty_sources_always_inject(self):
+        assert injection_exists((), (), set())
+        assert injection_exists((), ("t",), set())
+
+    def test_more_sources_than_targets_never_inject(self):
+        assert not injection_exists(("a", "b"), ("t",), {("a", "t"), ("b", "t")})
+
+    def test_distinct_pairing_found_greedily(self):
+        allowed = {("a", "x"), ("b", "y"), ("c", "z")}
+        assert injection_exists(("a", "b", "c"), ("x", "y", "z"), allowed)
+
+    def test_greedy_conflict_resolved_by_matching(self):
+        # Greedy first-fit assigns a->x, then b has only x left and fails;
+        # the augmenting path a->y frees x for b.
+        allowed = {("a", "x"), ("a", "y"), ("b", "x")}
+        assert injection_exists(("a", "b"), ("x", "y"), allowed)
+
+    def test_hall_violation_detected(self):
+        # Both sources are only allowed the single target x.
+        allowed = {("a", "x"), ("b", "x")}
+        assert not injection_exists(("a", "b"), ("x", "y"), allowed)
+
+    def test_source_with_no_allowed_target_fails_fast(self):
+        assert not injection_exists(("a", "b"), ("x", "y"), {("a", "x")})
+
+    def test_deep_augmenting_path_does_not_overflow_the_stack(self):
+        # s_i may use {t_i, t_{i+1}} except the last source, which only
+        # accepts t_0: the single augmenting path re-threads every source,
+        # so its length equals the instance size (beyond the default
+        # recursion limit for a recursive matcher).
+        size = 2500
+        sources = tuple(f"s{i}" for i in range(size))
+        targets = tuple(f"t{j}" for j in range(size))
+        allowed = {(f"s{i}", f"t{i}") for i in range(size - 1)}
+        allowed |= {(f"s{i}", f"t{i + 1}") for i in range(size - 1)}
+        allowed.add((f"s{size - 1}", "t0"))
+        assert injection_exists(sources, targets, allowed)
+        # Removing the chain's final free target makes the instance infeasible.
+        infeasible = {pair for pair in allowed if pair[1] != f"t{size - 1}"}
+        assert not injection_exists(sources, targets, infeasible)
+
+    def test_agrees_with_networkx_matching_on_random_instances(self):
+        import itertools
+        import random
+
+        import networkx as nx
+
+        for seed in range(30):
+            rng = random.Random(seed)
+            sources = tuple(f"s{i}" for i in range(rng.randrange(0, 5)))
+            targets = tuple(f"t{j}" for j in range(rng.randrange(0, 6)))
+            allowed = {
+                (s, t)
+                for s, t in itertools.product(sources, targets)
+                if rng.random() < 0.4
+            }
+            graph = nx.Graph()
+            graph.add_nodes_from(sources, bipartite=0)
+            graph.add_nodes_from(targets, bipartite=1)
+            graph.add_edges_from(allowed)
+            matching = nx.bipartite.maximum_matching(graph, top_nodes=sources)
+            matched = sum(1 for node in matching if node in sources)
+            assert injection_exists(sources, targets, allowed) == (
+                matched == len(sources)
+            ), (sources, targets, allowed)
 
 
 class TestVertexCovers:
