@@ -1,0 +1,89 @@
+"""Benchmark the campaign subsystem: store temperature and sharding.
+
+Two questions, both on the built-in E3 hierarchy survey spec:
+
+* ``test_full_sweep_store_temperature`` -- how much does the
+  content-addressed store buy?  The ``cold`` side runs the full sweep into a
+  fresh store every round; the ``warm`` side re-runs the identical spec
+  against a fully-populated store (100% hits: expansion + index lookups +
+  manifest rewrite only).  ``run_all.py`` pairs the two sides into the
+  warm-store speedup figure of ``BENCH_<date>.json``; the >= 5x acceptance
+  bar itself is asserted in tier-1 (``tests/test_campaign.py``).
+* ``test_cold_sweep_sharding`` -- serial vs multiprocessing-sharded cold
+  runs.  On the tiny per-scenario workloads of E3 the pool overhead usually
+  wins; the numbers document the break-even point rather than a speedup.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI size budget.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.campaign import builtin_spec, run_campaign
+from repro.campaign.store import ResultStore
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 3
+
+
+def sweep_spec():
+    spec = builtin_spec("e3-hierarchy")
+    if SMOKE:
+        spec.seeds = [0]
+        spec.port_strategies = ["consistent", "random"]
+    return spec
+
+
+@pytest.fixture
+def scratch_dir():
+    path = tempfile.mkdtemp(prefix="bench-campaign-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@pytest.mark.parametrize("store_state", ["cold", "warm"])
+def test_full_sweep_store_temperature(benchmark, scratch_dir, store_state):
+    spec = sweep_spec()
+    benchmark.extra_info["scenarios"] = len(spec.expand())
+
+    if store_state == "warm":
+        store = ResultStore(os.path.join(scratch_dir, "warm"))
+        run_campaign(spec, store)
+
+        result = benchmark.pedantic(
+            run_campaign, args=(spec, store), rounds=ROUNDS, iterations=1
+        )
+        assert result.store_hit_rate >= 0.95
+        assert result.executed == 0
+    else:
+        counter = iter(range(10_000))
+
+        def fresh_store():
+            return (spec, ResultStore(os.path.join(scratch_dir, f"cold-{next(counter)}"))), {}
+
+        result = benchmark.pedantic(
+            run_campaign, setup=fresh_store, rounds=ROUNDS, iterations=1
+        )
+        assert result.store_hit_rate == 0.0
+        assert result.executed == result.total
+
+
+@pytest.mark.parametrize("sharding", ["serial", "sharded"])
+def test_cold_sweep_sharding(benchmark, scratch_dir, sharding):
+    spec = sweep_spec()
+    workers = 4 if sharding == "sharded" else None
+    benchmark.extra_info["scenarios"] = len(spec.expand())
+    benchmark.extra_info["workers"] = workers or 1
+    counter = iter(range(10_000))
+
+    def fresh_store():
+        store = ResultStore(os.path.join(scratch_dir, f"{sharding}-{next(counter)}"))
+        return (spec, store), {"workers": workers}
+
+    result = benchmark.pedantic(run_campaign, setup=fresh_store, rounds=ROUNDS, iterations=1)
+    assert result.executed == result.total

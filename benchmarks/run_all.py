@@ -37,9 +37,16 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 
-#: Engine/seed parameter spellings used by the paired benchmarks.
-_NEW_VALUES = {"engine", "compiled"}
-_OLD_VALUES = {"seed", "reference"}
+#: Engine/seed parameter spellings used by the paired benchmarks; the
+#: cold/warm spellings pair the campaign store-temperature benchmarks the
+#: same way (warm store = the optimised side).
+_NEW_VALUES = {"engine", "compiled", "warm"}
+_OLD_VALUES = {"seed", "reference", "cold"}
+
+#: The modules the CI smoke path exercises (``--quick``): one engine-bound,
+#: one logic-bound and the campaign benchmarks -- every summary section stays
+#: populated while the wall time stays in CI budget.
+QUICK_MODULES = ("bench_campaign", "bench_execution", "bench_logic")
 
 
 def discover_benchmarks() -> list[Path]:
@@ -203,6 +210,13 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
         summary["min_logic_speedup"] = min(logic_speedups)
         summary["max_logic_speedup"] = max(logic_speedups)
         summary["geomean_logic_speedup"] = round(_geomean(logic_speedups), 2)
+    # The campaign pairs: cold full sweep vs warm content-addressed store.
+    campaign_pairs = [pair for pair in pairs if pair["file"] == "bench_campaign"]
+    if campaign_pairs:
+        summary["campaign_pairs"] = campaign_pairs
+        summary["geomean_warm_store_speedup"] = round(
+            _geomean([pair["speedup"] for pair in campaign_pairs]), 2
+        )
     return summary
 
 
@@ -210,6 +224,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke", action="store_true", help="tiny size budget (CI smoke job)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke path: --smoke sizes, only {', '.join(QUICK_MODULES)}",
     )
     parser.add_argument(
         "--out",
@@ -226,7 +245,12 @@ def main() -> None:
     date = datetime.date.today().isoformat()
     out_path = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{date}.json"
 
+    if args.quick:
+        args.smoke = True
+
     files = discover_benchmarks()
+    if args.quick:
+        files = [path for path in files if path.stem in QUICK_MODULES]
     if args.only:
         files = [path for path in files if path.stem == args.only]
         if not files:

@@ -77,6 +77,30 @@ from repro.core import (
 
 __version__ = "1.0.0"
 
+#: Campaign API resolved lazily: the subsystem pulls in the algorithm and
+#: logic layers, which ``import repro`` should not pay for up front.
+_CAMPAIGN_EXPORTS = (
+    "CampaignSpec",
+    "GraphGrid",
+    "ResultStore",
+    "Scenario",
+    "builtin_spec",
+    "run_campaign",
+)
+
+
+def __getattr__(name: str):
+    if name == "campaign" or name in _CAMPAIGN_EXPORTS:
+        import importlib
+
+        campaign = importlib.import_module("repro.campaign")
+        return campaign if name == "campaign" else getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+# The campaign names stay out of __all__ deliberately: a star-import would
+# otherwise trigger __getattr__ for each of them and eagerly pull in the whole
+# subsystem.  They remain reachable as ``repro.CampaignSpec`` etc.
 __all__ = [
     "Graph",
     "PortNumbering",

@@ -1,0 +1,62 @@
+"""Campaign subsystem: declarative scenario sweeps over the compiled engines.
+
+A campaign turns "imagine a scenario" into a sharded, cached, resumable run:
+
+* :class:`~repro.campaign.spec.CampaignSpec` declares a grid of axes (graph
+  families with parameter ranges, port-numbering strategies, model classes or
+  algorithms, formula sets, engines, seeds) and expands deterministically
+  into content-hashed :class:`~repro.campaign.spec.Scenario` units;
+* :func:`~repro.campaign.executor.run_campaign` shards scenarios across
+  multiprocessing workers, routes them through the compiled batch APIs
+  (:func:`repro.execution.engine.run_iter`,
+  :func:`repro.logic.engine.check_many`), and persists records in a
+  content-addressed :class:`~repro.campaign.store.ResultStore`, so re-invoked
+  campaigns resume from the store and sharding never changes the manifest
+  digest;
+* :mod:`~repro.campaign.aggregate` rolls records up per axis into the same
+  :class:`~repro.experiments.report.ExperimentResult` tables the experiment
+  harness prints;
+* ``python -m repro.campaign run|resume|report|list`` is the CLI, with
+  built-in campaigns (:mod:`~repro.campaign.builtin`) re-expressing the E3
+  hierarchy survey and the E12 invariance sweep as specs.
+"""
+
+from repro.campaign.aggregate import campaign_result, load_records, report_campaign
+from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
+from repro.campaign.executor import CampaignRun, evaluate_scenarios, run_campaign
+from repro.campaign.registry import (
+    ALGORITHMS,
+    FORMULA_SETS,
+    GRAPH_FAMILIES,
+    MODEL_DEFAULT_ALGORITHMS,
+    PORT_STRATEGIES,
+    GraphFamily,
+    build_graph,
+    register_graph_family,
+)
+from repro.campaign.spec import CampaignSpec, GraphGrid, Scenario
+from repro.campaign.store import ResultStore, record_digest
+
+__all__ = [
+    "ALGORITHMS",
+    "BUILTIN_CAMPAIGNS",
+    "CampaignRun",
+    "CampaignSpec",
+    "FORMULA_SETS",
+    "GRAPH_FAMILIES",
+    "GraphFamily",
+    "GraphGrid",
+    "MODEL_DEFAULT_ALGORITHMS",
+    "PORT_STRATEGIES",
+    "ResultStore",
+    "Scenario",
+    "builtin_spec",
+    "build_graph",
+    "campaign_result",
+    "evaluate_scenarios",
+    "load_records",
+    "record_digest",
+    "register_graph_family",
+    "report_campaign",
+    "run_campaign",
+]

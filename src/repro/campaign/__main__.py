@@ -1,0 +1,155 @@
+"""Command-line entry point for the campaign subsystem.
+
+Usage::
+
+    python -m repro.campaign list  [--store DIR]
+    python -m repro.campaign run    <name | spec.json> [--store DIR] [--workers N] [--json]
+    python -m repro.campaign resume <name>             [--store DIR] [--workers N] [--json]
+    python -m repro.campaign report <name>             [--store DIR] [--json]
+
+``run`` accepts a built-in campaign name or a path to a JSON spec file; it is
+resumable by construction (scenarios already in the store are skipped).
+``resume`` re-invokes a campaign whose spec is recovered from the stored
+manifest (or a built-in), so an interrupted run continues without the
+original spec file.  ``report`` aggregates the stored records into the same
+paper-vs-measured table the experiment harness prints; ``--json`` emits the
+machine-readable form CI consumes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.campaign.aggregate import campaign_result, load_records
+from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.experiments.report import format_report
+
+DEFAULT_STORE = "campaign-store"
+
+
+def _resolve_spec(target: str, store: ResultStore, prefer_manifest: bool) -> CampaignSpec:
+    """A spec from a stored manifest, a built-in name, or a JSON file path.
+
+    For ``resume`` the stored manifest wins over a built-in of the same name:
+    the user may have run a customized spec under that name, and resuming
+    must continue *that* campaign, not silently swap in the built-in grid.
+    """
+    if prefer_manifest:
+        try:
+            manifest = store.read_manifest(target)
+        except KeyError:
+            manifest = None  # no stored campaign of that name; fall through
+        if manifest is not None:
+            # A present-but-broken manifest is an error, never a silent
+            # fall-through to a same-named built-in spec.
+            try:
+                return CampaignSpec.from_dict(manifest["spec"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise SystemExit(
+                    f"error: stored manifest for {target!r} is not a valid campaign: {error}"
+                ) from None
+    if target in BUILTIN_CAMPAIGNS:
+        return builtin_spec(target)
+    path = Path(target)
+    if path.suffix == ".json" or path.is_file():
+        try:
+            return CampaignSpec.from_json(path.read_text())
+        except OSError as error:
+            raise SystemExit(f"error: cannot read spec file {target!r}: {error}") from None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as error:
+            raise SystemExit(f"error: {target!r} is not a valid campaign spec: {error}") from None
+    known = ", ".join(sorted(BUILTIN_CAMPAIGNS))
+    raise SystemExit(
+        f"error: unknown campaign {target!r}; built-ins: {known} (or pass a spec.json path)"
+    )
+
+
+def _print_report(store: ResultStore, name: str, as_json: bool, run_summary=None) -> bool:
+    spec, records = load_records(store, name)
+    result = campaign_result(spec, records)
+    if as_json:
+        payload = result.to_dict()
+        if run_summary is not None:
+            payload["run"] = run_summary.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report([result]))
+    return result.all_match
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Declarative scenario sweeps over the compiled engines.",
+    )
+    parser.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="run (or resume) a campaign")
+    run_parser.add_argument("campaign", help="built-in name or path to a spec JSON file")
+    run_parser.add_argument("--workers", type=int, default=None, help="shard across N workers")
+    run_parser.add_argument(
+        "--no-resume", action="store_true", help="re-evaluate and replace stored records"
+    )
+    run_parser.add_argument("--json", action="store_true", help="machine-readable report")
+
+    resume_parser = commands.add_parser(
+        "resume", help="continue a campaign from its stored manifest"
+    )
+    resume_parser.add_argument("campaign", help="built-in name or stored campaign name")
+    resume_parser.add_argument("--workers", type=int, default=None)
+    resume_parser.add_argument("--json", action="store_true")
+
+    report_parser = commands.add_parser("report", help="aggregate a stored campaign")
+    report_parser.add_argument("campaign", help="stored campaign name")
+    report_parser.add_argument("--json", action="store_true")
+
+    commands.add_parser("list", help="list built-in and stored campaigns")
+
+    args = parser.parse_args(argv)
+    store = ResultStore(args.store)
+
+    if args.command == "list":
+        print("built-in campaigns:")
+        for name in sorted(BUILTIN_CAMPAIGNS):
+            spec = builtin_spec(name)
+            print(f"  {name:16} {len(spec.expand()):5d} scenarios  {spec.description}")
+        stored = store.list_campaigns()
+        print(f"stored campaigns in {store.root}:" if stored else f"no stored campaigns in {store.root}")
+        for name in stored:
+            manifest = store.read_manifest(name)
+            print(f"  {name:16} {len(manifest['scenarios']):5d} scenarios  digest {manifest['manifest_digest'][:12]}")
+        return 0
+
+    if args.command in ("run", "resume"):
+        spec = _resolve_spec(args.campaign, store, prefer_manifest=args.command == "resume")
+        try:
+            summary = run_campaign(
+                spec,
+                store,
+                workers=args.workers,
+                resume=args.command == "resume" or not getattr(args, "no_resume", False),
+                log=None if args.json else print,
+            )
+        except (KeyError, ValueError) as error:
+            # Invalid axis values (bad strategy, model class, family...)
+            # surface as clean CLI errors, not tracebacks.
+            raise SystemExit(f"error: {error.args[0] if error.args else error}") from None
+        return 0 if _print_report(store, spec.name, args.json, run_summary=summary) else 1
+
+    # report
+    try:
+        ok = _print_report(store, args.campaign, args.json)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}") from None
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,139 @@
+"""Aggregation: per-axis rollups over stored campaign records.
+
+The campaign report rides the same reporting substrate as the experiment
+harness: :func:`campaign_result` folds the records of a campaign into an
+:class:`~repro.experiments.report.ExperimentResult`, so ``format_report`` and
+the ``--json`` machine-readable path work identically for experiments and
+campaigns, and CI consumes one record shape for both.
+
+Rollups group records by workload (algorithm or formula set):
+
+* execution campaigns report, per workload, how many scenarios ran, whether
+  they all halted, and whether the outputs were *invariant* under the port
+  numbering axis -- i.e. every graph point produced one output digest across
+  all port strategies and engines.  Where the spec carries an expectation
+  (e.g. the built-in hierarchy survey expects SB..MV workloads invariant and
+  the SV/VV workloads numbering-sensitive), the row matches only if the
+  verdict agrees;
+* logic campaigns report, per ``formula set x model class``, whether every
+  scenario's bisimilarity-invariance check held (Fact 1 -- always expected).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.campaign.spec import CampaignSpec, Scenario
+from repro.campaign.store import ResultStore
+from repro.experiments.report import ExperimentResult
+
+
+def load_records(store: ResultStore, name: str) -> tuple[CampaignSpec, list[dict[str, Any]]]:
+    """The spec and the in-order records of a stored campaign manifest."""
+    manifest = store.read_manifest(name)
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    records = [store.get(entry["hash"]) for entry in manifest["scenarios"]]
+    return spec, records
+
+
+def _workload_of(record: dict[str, Any]) -> str:
+    scenario = record["scenario"]
+    return scenario["algorithm"] or scenario["formula_set"] or "?"
+
+
+def rollup_execution(records: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Per-workload execution rollups, keyed by algorithm name."""
+    by_workload: dict[str, list[dict[str, Any]]] = defaultdict(list)
+    for record in records:
+        by_workload[_workload_of(record)].append(record)
+
+    rollups: dict[str, dict[str, Any]] = {}
+    for workload, group in sorted(by_workload.items()):
+        digests_per_point: dict[tuple, set[str]] = defaultdict(set)
+        for record in group:
+            point = Scenario.from_dict(record["scenario"]).graph_point()
+            digests_per_point[point].add(record["result"]["output_digest"])
+        model_classes = sorted(
+            {record["scenario"]["model_class"] for record in group} - {None}
+        )
+        rollups[workload] = {
+            "scenarios": len(group),
+            "graph_points": len(digests_per_point),
+            "all_halted": all(record["result"]["halted"] for record in group),
+            "max_rounds_used": max(record["result"]["rounds"] for record in group),
+            "invariant": all(len(digests) == 1 for digests in digests_per_point.values()),
+            "model_classes": model_classes,
+        }
+    return rollups
+
+
+def rollup_logic(records: list[dict[str, Any]]) -> dict[tuple[str, str], dict[str, Any]]:
+    """Per ``(formula set, model class)`` logic rollups."""
+    by_key: dict[tuple[str, str], list[dict[str, Any]]] = defaultdict(list)
+    for record in records:
+        scenario = record["scenario"]
+        by_key[(scenario["formula_set"], scenario["model_class"] or "-")].append(record)
+
+    rollups: dict[tuple[str, str], dict[str, Any]] = {}
+    for key, group in sorted(by_key.items()):
+        worlds = sum(record["result"]["worlds"] for record in group)
+        classes = sum(record["result"]["classes"] for record in group)
+        rollups[key] = {
+            "scenarios": len(group),
+            "invariant": all(record["result"]["invariant"] for record in group),
+            "worlds": worlds,
+            "classes": classes,
+        }
+    return rollups
+
+
+def campaign_result(spec: CampaignSpec, records: list[dict[str, Any]]) -> ExperimentResult:
+    """Fold campaign records into an :class:`ExperimentResult`."""
+    result = ExperimentResult(
+        experiment_id=f"campaign:{spec.name}",
+        title=spec.description or f"campaign sweep {spec.name!r}",
+        paper_reference=f"{len(records)} scenarios, kind={spec.kind}",
+    )
+    if spec.kind == "execution":
+        for workload, rollup in rollup_execution(records).items():
+            classes = ",".join(rollup["model_classes"]) or "-"
+            expected = spec.expectations.get(workload)
+            if expected is None:
+                paper = "observe numbering (in)sensitivity"
+                matches = rollup["all_halted"]
+            else:
+                paper = (
+                    "outputs invariant under port numberings"
+                    if expected
+                    else "outputs depend on port numbering"
+                )
+                matches = rollup["all_halted"] and rollup["invariant"] == expected
+            result.add(
+                f"{workload} [{classes}]",
+                paper,
+                f"halted={rollup['all_halted']}, invariant={rollup['invariant']}, "
+                f"scenarios={rollup['scenarios']}",
+                matches,
+            )
+    else:
+        for (fset, model_class), rollup in rollup_logic(records).items():
+            # Fact 1 is the default expectation; a spec may override per
+            # formula set (e.g. a deliberately non-invariant probe).
+            expected = spec.expectations.get(fset, True)
+            result.add(
+                f"{fset} on K({model_class})",
+                "bisimilar worlds satisfy the same formulas (Fact 1)"
+                if expected
+                else "formula set expected to separate bisimilar worlds",
+                f"invariant={rollup['invariant']}, scenarios={rollup['scenarios']}, "
+                f"classes={rollup['classes']}/{rollup['worlds']} worlds",
+                rollup["invariant"] == expected,
+            )
+    return result
+
+
+def report_campaign(store: ResultStore, name: str) -> ExperimentResult:
+    """Load a stored campaign and aggregate it into a report result."""
+    spec, records = load_records(store, name)
+    return campaign_result(spec, records)

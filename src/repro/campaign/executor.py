@@ -1,0 +1,315 @@
+"""The campaign executor: sharding, batch routing, resume.
+
+:func:`run_campaign` is the one entry point: expand the spec, skip every
+scenario whose record is already in the store (resume is the default, not a
+mode), shard the rest across ``multiprocessing`` workers, and write the
+manifest.  Scenario evaluation routes through the existing compiled batch
+APIs rather than per-instance calls:
+
+* execution scenarios are grouped by ``(algorithm, engine, max_rounds)`` and
+  streamed through :func:`repro.execution.engine.run_iter`, so a whole group
+  shares one :class:`~repro.machines.fastpath.FastPathAlgorithm` cache;
+* logic scenarios batch their formula set through
+  :func:`repro.logic.engine.check_many` on one compiled Kripke model per
+  instance, plus a partition-refinement bisimilarity pass.
+
+Everything a worker needs travels as a :class:`~repro.campaign.spec.Scenario`
+(primitives only); graphs are regenerated in-worker from the family registry,
+with a per-shard cache keyed by the graph point.  Records are deterministic
+functions of their scenario, which is why a sharded run's manifest digest is
+byte-identical to a serial run's.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.campaign import registry
+from repro.campaign.spec import CampaignSpec, Scenario, content_digest
+from repro.campaign.store import ResultStore
+from repro.execution.engine import run_iter
+from repro.graphs.graph import Graph
+from repro.graphs.ports import PortNumbering
+from repro.logic.bisimulation import bisimilarity_partition
+from repro.logic.engine import check_many
+from repro.machines.models import ProblemClass
+from repro.modal.encoding import KripkeVariant, kripke_encoding, variant_for_class
+
+
+def canonical_value(value: Any) -> Any:
+    """Canonicalize an algorithm output / record payload for JSON.
+
+    Unordered collections are sorted by their canonical form so that the
+    record bytes never depend on hash-iteration order (which varies across
+    processes); exotic objects fall back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((canonical_value(item) for item in value), key=repr)
+    if isinstance(value, Mapping):
+        return sorted(
+            ([canonical_value(key), canonical_value(item)] for key, item in value.items()),
+            key=repr,
+        )
+    try:  # FrozenMultiset and other iterables of hashables
+        items = list(value)
+    except TypeError:
+        return repr(value)
+    return sorted((canonical_value(item) for item in items), key=repr)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario evaluation
+# --------------------------------------------------------------------------- #
+
+
+def _materialize(
+    scenario: Scenario, graph_cache: dict[tuple, Graph]
+) -> tuple[Graph, PortNumbering]:
+    point = scenario.graph_point()
+    graph = graph_cache.get(point)
+    if graph is None:
+        graph = graph_cache[point] = registry.build_graph(
+            scenario.family, dict(scenario.graph_params), seed=scenario.seed
+        )
+    numbering = registry.build_numbering(scenario.port_strategy, graph, scenario.seed)
+    return graph, numbering
+
+
+def _execution_records(
+    scenarios: list[Scenario], graph_cache: dict[tuple, Graph]
+) -> dict[str, dict[str, Any]]:
+    """Evaluate execution scenarios, batched per algorithm through run_iter."""
+    groups: dict[tuple[str, str, int], list[Scenario]] = {}
+    for scenario in scenarios:
+        key = (scenario.algorithm or "", scenario.engine, scenario.max_rounds)
+        groups.setdefault(key, []).append(scenario)
+
+    records: dict[str, dict[str, Any]] = {}
+    for (algorithm_name, engine, max_rounds), group in sorted(groups.items()):
+        algorithm = registry.build_algorithm(algorithm_name)
+        instances = [_materialize(scenario, graph_cache) for scenario in group]
+        started = time.perf_counter()
+        results = run_iter(
+            algorithm,
+            instances,
+            max_rounds=max_rounds,
+            require_halt=False,
+            engine=engine,
+            memoize_transitions=True,
+        )
+        for scenario, (graph, _), result in zip(group, instances, results):
+            elapsed = time.perf_counter() - started
+            started = time.perf_counter()
+            outputs = [
+                [repr(node), canonical_value(result.outputs[node])]
+                for node in graph.nodes
+                if node in result.outputs
+            ]
+            payload = {
+                "nodes": graph.number_of_nodes,
+                "edges": graph.number_of_edges,
+                "halted": result.halted,
+                "rounds": result.rounds,
+                "outputs": outputs,
+                "output_digest": content_digest(outputs),
+            }
+            records[scenario.content_hash()] = _record(scenario, payload, elapsed)
+    return records
+
+
+def _logic_record(
+    scenario: Scenario, graph_cache: dict[tuple, Graph]
+) -> dict[str, Any]:
+    """Evaluate one logic scenario: check_many + bisimilarity invariance."""
+    started = time.perf_counter()
+    graph, numbering = _materialize(scenario, graph_cache)
+    if scenario.model_class is not None:
+        variant = variant_for_class(ProblemClass(scenario.model_class))
+    else:
+        variant = KripkeVariant.NEITHER
+    encoding = kripke_encoding(graph, numbering, variant=variant)
+    fset = registry.formula_set(scenario.formula_set or "")
+    formulas = fset.build(encoding.indices)
+    truths = check_many(encoding, formulas, engine=scenario.engine)
+    partition = bisimilarity_partition(encoding, graded=fset.graded, engine=scenario.engine)
+    blocks: dict[Any, list[Any]] = {}
+    for world, block in partition.items():
+        blocks.setdefault(block, []).append(world)
+    invariant = all(
+        len({world in truth for world in block}) == 1
+        for truth in truths
+        for block in blocks.values()
+    )
+    payload = {
+        "nodes": graph.number_of_nodes,
+        "edges": graph.number_of_edges,
+        "variant": variant.value,
+        "worlds": len(encoding.worlds),
+        "formulas": len(formulas),
+        "graded": fset.graded,
+        "extension_sizes": [len(truth) for truth in truths],
+        "extension_digest": content_digest(
+            [sorted(repr(world) for world in truth) for truth in truths]
+        ),
+        "classes": len(blocks),
+        "invariant": invariant,
+    }
+    return _record(scenario, payload, time.perf_counter() - started)
+
+
+def _record(scenario: Scenario, payload: dict[str, Any], elapsed: float) -> dict[str, Any]:
+    return {
+        "hash": scenario.content_hash(),
+        "scenario": scenario.to_dict(),
+        "kind": scenario.kind,
+        "result": payload,
+        "elapsed_s": round(elapsed, 6),
+    }
+
+
+def evaluate_scenarios(scenarios: list[Scenario]) -> list[dict[str, Any]]:
+    """Evaluate a batch of scenarios, returning records in scenario order."""
+    graph_cache: dict[tuple, Graph] = {}
+    execution = [scenario for scenario in scenarios if scenario.kind == "execution"]
+    records = _execution_records(execution, graph_cache)
+    for scenario in scenarios:
+        if scenario.kind == "logic":
+            records[scenario.content_hash()] = _logic_record(scenario, graph_cache)
+    return [records[scenario.content_hash()] for scenario in scenarios]
+
+
+def _run_shard(scenarios: list[Scenario]) -> list[dict[str, Any]]:
+    """Multiprocessing entry point: one worker evaluates one shard."""
+    return evaluate_scenarios(scenarios)
+
+
+#: Serial runs persist records to the store after every chunk of this many
+#: scenarios, bounding how much work a mid-run interrupt can lose.  Large
+#: enough that each chunk still forms sizeable run_iter batches.
+SERIAL_CHUNK = 64
+
+
+# --------------------------------------------------------------------------- #
+# The campaign run
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class CampaignRun:
+    """Summary of one ``run_campaign`` invocation."""
+
+    name: str
+    total: int
+    executed: int
+    skipped: int
+    manifest_path: Path
+    manifest_digest: str
+    elapsed_s: float
+
+    @property
+    def store_hit_rate(self) -> float:
+        """Fraction of scenarios answered by the store instead of executed."""
+        return self.skipped / self.total if self.total else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "total": self.total,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "store_hit_rate": round(self.store_hit_rate, 4),
+            "manifest_path": str(self.manifest_path),
+            "manifest_digest": self.manifest_digest,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore | str,
+    workers: int | None = None,
+    resume: bool = True,
+    log: Callable[[str], None] | None = None,
+) -> CampaignRun:
+    """Run (or resume) a campaign against a result store.
+
+    Parameters
+    ----------
+    spec:
+        The declarative sweep to run.
+    store:
+        A :class:`ResultStore` or a path to open one at.
+    workers:
+        ``None``/0/1 evaluates the pending scenarios serially in-process; a
+        larger value round-robins them into that many shards evaluated by a
+        ``multiprocessing`` pool.  Sharding never changes any record or the
+        manifest digest -- only the wall time.
+    resume:
+        When true (the default), scenarios whose content hash is already in
+        the store are skipped; ``False`` forces re-evaluation and replaces
+        any stored records with the fresh ones (use after changing an
+        algorithm or engine behind unchanged scenario coordinates).
+    log:
+        Optional progress sink (the CLI passes ``print``).
+    """
+    if isinstance(store, (str, Path)):
+        store = ResultStore(store)
+    started = time.perf_counter()
+    scenarios = spec.expand()
+    if resume:
+        pending = [s for s in scenarios if not store.has(s.content_hash())]
+    else:
+        pending = list(scenarios)
+    skipped = len(scenarios) - len(pending)
+    if log:
+        log(
+            f"campaign {spec.name!r}: {len(scenarios)} scenarios, "
+            f"{skipped} already stored, {len(pending)} to run"
+        )
+
+    # Records are persisted incrementally -- per shard as it completes, per
+    # chunk on the serial path -- so an interrupted run resumes from whatever
+    # it got through, not from zero (the index heals from the objects).
+    if pending:
+        if workers and workers > 1 and len(pending) > 1:
+            shard_count = min(workers, len(pending))
+            shards = [pending[i::shard_count] for i in range(shard_count)]
+            with multiprocessing.Pool(shard_count) as pool:
+                for shard_records in pool.imap_unordered(_run_shard, shards):
+                    for record in shard_records:
+                        store.put(record, overwrite=not resume)
+        else:
+            for start in range(0, len(pending), SERIAL_CHUNK):
+                for record in evaluate_scenarios(pending[start : start + SERIAL_CHUNK]):
+                    store.put(record, overwrite=not resume)
+
+    manifest_path, manifest_digest = store.write_manifest(spec, scenarios)
+    # Flush the index only after the manifest pass, which may have
+    # self-healed entries (e.g. a lost index.json over a populated store) by
+    # re-reading object files -- those healed digests must be persisted.
+    store.save_index()
+    run = CampaignRun(
+        name=spec.name,
+        total=len(scenarios),
+        executed=len(pending),
+        skipped=skipped,
+        manifest_path=manifest_path,
+        manifest_digest=manifest_digest,
+        elapsed_s=time.perf_counter() - started,
+    )
+    if log:
+        log(
+            f"campaign {spec.name!r}: executed {run.executed}, "
+            f"store hits {run.skipped}/{run.total}, "
+            f"manifest {run.manifest_digest[:12]} ({run.elapsed_s:.2f}s)"
+        )
+    return run

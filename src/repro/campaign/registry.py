@@ -1,0 +1,384 @@
+"""Registries mapping campaign axis values to executable objects.
+
+A :class:`~repro.campaign.spec.CampaignSpec` names everything symbolically --
+graph families, port-numbering strategies, algorithms, formula sets -- so that
+specs survive a dict/JSON round-trip and scenarios stay content-addressable.
+This module is where the symbols resolve:
+
+* :data:`GRAPH_FAMILIES` -- family name -> seed-deterministic generator over
+  scalar (JSON-able) parameters, including the derived ``double-cover`` and
+  ``lift`` families that wrap a base family;
+* :data:`PORT_STRATEGIES` -- how the port numbering of an instance is chosen;
+* :data:`ALGORITHMS` / :data:`MODEL_DEFAULT_ALGORITHMS` -- the distributed
+  algorithms a scenario may run, and the representative algorithm per problem
+  class used when a spec sweeps over model classes;
+* :data:`FORMULA_SETS` -- named modal-formula batches for logic scenarios.
+
+All registries are plain dicts: downstream PRs add scenarios by registering
+new entries, not by writing new sweep scripts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.algorithms.basic import (
+    BroadcastMinimumDegreeAlgorithm,
+    ConstantAlgorithm,
+    DegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    NeighbourDegreeSumAlgorithm,
+    PortEchoAlgorithm,
+)
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import OddOddNeighboursAlgorithm, SomeOddNeighbourAlgorithm
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.graphs.ports import (
+    PortNumbering,
+    consistent_port_numbering,
+    random_port_numbering,
+)
+from repro.logic.syntax import And, Diamond, Formula, GradedDiamond, Not, Prop
+from repro.machines.algorithm import Algorithm
+
+
+def derived_seed(*parts: Any) -> int:
+    """A stable 63-bit integer seed derived from the given parts.
+
+    Never uses :func:`hash` (string hashing is randomised per process, which
+    would break cross-process determinism of sharded campaign runs).
+    """
+    text = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# --------------------------------------------------------------------------- #
+# Graph families
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """One named graph family of the campaign registry.
+
+    ``build`` receives the family parameters as keyword arguments; when
+    ``seeded`` is true the scenario's seed is additionally passed as ``seed``
+    (unless the spec pinned an explicit ``seed`` parameter).
+    """
+
+    name: str
+    build: Callable[..., Graph]
+    params: tuple[str, ...]
+    seeded: bool = False
+    description: str = ""
+    #: Derived families whose randomness comes only from the base family
+    #: (e.g. double-cover) inherit their effective seededness from it.
+    seeded_from_base: bool = False
+
+
+def _build_derived(
+    constructor: Callable[..., Graph], params: Mapping[str, Any], **extra: Any
+) -> Graph:
+    """Build a derived family: resolve the ``base`` family, then lift it."""
+    params = dict(params)
+    base_family = params.pop("base")
+    base_params = {
+        key[len("base_"):]: value for key, value in params.items() if key.startswith("base_")
+    }
+    base = build_graph(base_family, base_params, seed=extra.pop("base_seed", None))
+    return constructor(base, **extra)
+
+
+def _double_cover_family(base: str = "cycle", seed: int | None = None, **params: Any) -> Graph:
+    return _build_derived(
+        lambda graph: generators.double_cover_graph(graph),
+        {"base": base, **params},
+        base_seed=seed,
+    )
+
+
+def _lift_family(base: str = "cycle", k: int = 2, seed: int | None = None, **params: Any) -> Graph:
+    return _build_derived(
+        lambda graph, **kw: generators.random_lift(graph, k, seed=seed),
+        {"base": base, **params},
+        base_seed=seed,
+    )
+
+
+GRAPH_FAMILIES: dict[str, GraphFamily] = {}
+
+
+def register_graph_family(family: GraphFamily) -> GraphFamily:
+    """Register (or replace) a graph family under its name."""
+    GRAPH_FAMILIES[family.name] = family
+    return family
+
+
+for _family in (
+    GraphFamily("path", generators.path_graph, ("n",), description="path on n nodes"),
+    GraphFamily("cycle", generators.cycle_graph, ("n",), description="cycle on n nodes"),
+    GraphFamily("star", generators.star_graph, ("leaves",), description="star K_{1,leaves}"),
+    GraphFamily("complete", generators.complete_graph, ("n",), description="complete graph K_n"),
+    GraphFamily(
+        "complete-bipartite",
+        generators.complete_bipartite_graph,
+        ("m", "n"),
+        description="complete bipartite K_{m,n}",
+    ),
+    GraphFamily("grid", generators.grid_graph, ("rows", "cols"), description="rows x cols grid"),
+    GraphFamily(
+        "torus",
+        generators.torus_graph,
+        ("rows", "cols"),
+        description="wraparound grid (4-regular)",
+    ),
+    GraphFamily(
+        "hypercube", generators.hypercube_graph, ("dimension",), description="d-cube"
+    ),
+    GraphFamily(
+        "circulant",
+        lambda n, jumps=(1,): generators.circulant_graph(n, tuple(jumps)),
+        ("n", "jumps"),
+        description="circulant C_n(jumps)",
+    ),
+    GraphFamily(
+        "figure9", lambda: generators.figure9_graph(), (), description="Figure 9 matchless graph"
+    ),
+    GraphFamily(
+        "random-regular",
+        generators.random_regular_graph,
+        ("degree", "n"),
+        seeded=True,
+        description="uniform random regular graph",
+    ),
+    GraphFamily(
+        "random",
+        generators.random_graph,
+        ("n", "probability"),
+        seeded=True,
+        description="Erdos-Renyi G(n, p)",
+    ),
+    GraphFamily(
+        "random-bounded-degree",
+        generators.random_bounded_degree_graph,
+        ("n", "max_degree"),
+        seeded=True,
+        description="random member of F(max_degree)",
+    ),
+    GraphFamily(
+        "random-tree",
+        generators.random_tree,
+        ("n",),
+        seeded=True,
+        description="uniform random labelled tree",
+    ),
+    GraphFamily(
+        "double-cover",
+        _double_cover_family,
+        ("base",),
+        seeded=True,
+        description="bipartite double cover of a base family (base_* params)",
+        seeded_from_base=True,
+    ),
+    GraphFamily(
+        "lift",
+        _lift_family,
+        ("base", "k"),
+        seeded=True,
+        description="random k-lift of a base family (base_* params)",
+    ),
+):
+    register_graph_family(_family)
+
+
+def family_seeded(family: str, params: Mapping[str, Any]) -> bool:
+    """Whether a scenario's result can depend on the seed via its graph.
+
+    Unknown families are treated as seeded (conservative: the seed axis is
+    kept).  The double cover of a deterministic base is itself deterministic,
+    so ``seeded_from_base`` families resolve through their ``base`` parameter.
+    """
+    # A pinned {'seed': ...} param freezes the generator (build_graph then
+    # ignores the scenario seed), making the family effectively deterministic.
+    if isinstance(params, Mapping) and "seed" in params:
+        return False
+    entry = GRAPH_FAMILIES.get(family)
+    if entry is None:
+        return True
+    if entry.seeded_from_base:
+        base = params.get("base", "cycle") if isinstance(params, Mapping) else "cycle"
+        base_params = {
+            key[len("base_"):]: value
+            for key, value in params.items()
+            if isinstance(key, str) and key.startswith("base_")
+        }
+        return family_seeded(base, base_params)
+    return entry.seeded
+
+
+def build_graph(family: str, params: Mapping[str, Any], seed: int | None = None) -> Graph:
+    """Build one graph instance of a registered family.
+
+    ``params`` may contain list values only where the family expects them
+    (e.g. circulant ``jumps``); sweeping over parameter ranges happens during
+    spec expansion, before this call.  For seeded families the scenario seed
+    is injected unless ``params`` pins an explicit ``seed``.
+    """
+    try:
+        entry = GRAPH_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(GRAPH_FAMILIES))
+        raise KeyError(f"unknown graph family {family!r}; known families: {known}") from None
+    kwargs = dict(params)
+    if entry.seeded and "seed" not in kwargs:
+        kwargs["seed"] = seed
+    return entry.build(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Port-numbering strategies
+# --------------------------------------------------------------------------- #
+
+
+def _consistent_strategy(graph: Graph, seed: int) -> PortNumbering:
+    return consistent_port_numbering(graph)
+
+
+def _random_strategy(graph: Graph, seed: int) -> PortNumbering:
+    return random_port_numbering(graph, random.Random(derived_seed("ports", seed)))
+
+
+def _random_consistent_strategy(graph: Graph, seed: int) -> PortNumbering:
+    return random_port_numbering(
+        graph, random.Random(derived_seed("ports", seed)), consistent=True
+    )
+
+
+PORT_STRATEGIES: dict[str, Callable[[Graph, int], PortNumbering]] = {
+    "consistent": _consistent_strategy,
+    "random": _random_strategy,
+    "random-consistent": _random_consistent_strategy,
+}
+
+#: Whether a strategy's numbering depends on the scenario seed.  Spec
+#: expansion collapses the seed axis where neither the graph family nor the
+#: strategy consumes it (identical computations must share one content hash).
+PORT_STRATEGY_SEEDED: dict[str, bool] = {
+    "consistent": False,
+    "random": True,
+    "random-consistent": True,
+}
+
+
+def build_numbering(strategy: str, graph: Graph, seed: int) -> PortNumbering:
+    """The port numbering a scenario runs under (deterministic in ``seed``)."""
+    try:
+        build = PORT_STRATEGIES[strategy]
+    except KeyError:
+        known = ", ".join(sorted(PORT_STRATEGIES))
+        raise KeyError(f"unknown port strategy {strategy!r}; known: {known}") from None
+    return build(graph, seed)
+
+
+# --------------------------------------------------------------------------- #
+# Algorithms
+# --------------------------------------------------------------------------- #
+
+ALGORITHMS: dict[str, Callable[[], Algorithm]] = {
+    "constant": ConstantAlgorithm,
+    "degree": DegreeAlgorithm,
+    "some-odd-neighbour": SomeOddNeighbourAlgorithm,
+    "odd-odd-neighbours": OddOddNeighboursAlgorithm,
+    "neighbour-degree-sum": NeighbourDegreeSumAlgorithm,
+    "broadcast-min-degree": BroadcastMinimumDegreeAlgorithm,
+    "gather-degrees": GatherDegreesAlgorithm,
+    "leaf-election": LeafElectionAlgorithm,
+    "port-echo": PortEchoAlgorithm,
+}
+
+#: The representative algorithm a model-class sweep runs for each class.
+#: These are the same workloads the E2/E3 experiments exercise per class.
+MODEL_DEFAULT_ALGORITHMS: dict[str, str] = {
+    "SB": "some-odd-neighbour",
+    "MB": "neighbour-degree-sum",
+    "VB": "broadcast-min-degree",
+    "SV": "leaf-election",
+    "MV": "gather-degrees",
+    "VV": "port-echo",
+    "VVc": "port-echo",
+}
+
+
+def build_algorithm(name: str) -> Algorithm:
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory()
+
+
+# --------------------------------------------------------------------------- #
+# Formula sets
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FormulaSet:
+    """A named batch of modal formulas built against a concrete encoding."""
+
+    name: str
+    build: Callable[[Iterable[Any]], list[Formula]]
+    graded: bool
+    description: str = ""
+
+
+def _pick_index(indices: Iterable[Any]) -> Any:
+    return sorted(indices, key=repr)[0]
+
+
+def _ml_basic(indices: Iterable[Any]) -> list[Formula]:
+    """Plain modal formulas over the degree propositions (Fact 1a workload)."""
+    index = _pick_index(indices)
+    formulas: list[Formula] = []
+    for prop in (Prop("deg1"), Prop("deg2"), Prop("deg3")):
+        formulas.append(Diamond(prop, index=index))
+        formulas.append(Diamond(And(prop, Diamond(Not(prop), index=index)), index=index))
+    return formulas
+
+
+def _gml_basic(indices: Iterable[Any]) -> list[Formula]:
+    """Graded modal formulas over the degree propositions (Fact 1b workload)."""
+    index = _pick_index(indices)
+    formulas = _ml_basic(indices)
+    for prop in (Prop("deg1"), Prop("deg2"), Prop("deg3")):
+        formulas.append(GradedDiamond(prop, grade=2, index=index))
+        formulas.append(GradedDiamond(Diamond(prop, index=index), grade=2, index=index))
+    return formulas
+
+
+FORMULA_SETS: dict[str, FormulaSet] = {
+    "ml-basic": FormulaSet(
+        "ml-basic", _ml_basic, graded=False, description="diamonds over degree propositions"
+    ),
+    "gml-basic": FormulaSet(
+        "gml-basic",
+        _gml_basic,
+        graded=True,
+        description="ml-basic plus graded diamonds (grade 2)",
+    ),
+}
+
+
+def formula_set(name: str) -> FormulaSet:
+    try:
+        return FORMULA_SETS[name]
+    except KeyError:
+        known = ", ".join(sorted(FORMULA_SETS))
+        raise KeyError(f"unknown formula set {name!r}; known: {known}") from None

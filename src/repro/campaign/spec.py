@@ -1,0 +1,381 @@
+"""Declarative campaign specifications and their expansion into scenarios.
+
+A :class:`CampaignSpec` is a grid of axes -- graph families with parameter
+ranges, port-numbering strategies, model classes or algorithms, formula sets,
+engines, seeds.  It round-trips losslessly through ``to_dict``/``from_dict``
+(and therefore JSON files), and :meth:`CampaignSpec.expand` unfolds it into a
+deterministic, order-stable list of :class:`Scenario` units.
+
+A :class:`Scenario` is the atom of campaign work: one fully-resolved
+coordinate tuple.  Its :meth:`~Scenario.content_hash` is a SHA-256 over the
+canonical JSON of its coordinates (everything that determines the result, and
+nothing else -- not the campaign name, not the store path), which is what
+makes the result store content-addressed: two campaigns that contain the same
+scenario share one record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.campaign import registry
+
+#: Scenario kinds: run a distributed algorithm, or model-check an encoding.
+KINDS = ("execution", "logic")
+
+
+def canonical_json(payload: Any) -> str:
+    """Canonical JSON: sorted keys, no whitespace drift, ASCII-stable."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively turn lists into tuples so axis values are hashable."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze`: tuples back to JSON-able lists."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+@dataclass(frozen=True)
+class GraphGrid:
+    """One graph-family axis entry: a family name plus parameter ranges.
+
+    Every parameter value is a *list of sweep values*; scalars are promoted to
+    one-element sweeps on construction.  A parameter whose single value is
+    itself a list (e.g. circulant ``jumps``) must therefore be written nested:
+    ``{"jumps": [[1, 2]]}`` sweeps one value, ``[[1], [1, 2]]`` sweeps two.
+    """
+
+    family: str
+    params: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+
+    @classmethod
+    def of(cls, family: str, params: dict[str, Any] | None = None) -> "GraphGrid":
+        normalized: list[tuple[str, tuple[Any, ...]]] = []
+        for key in sorted(params or {}):
+            value = (params or {})[key]
+            sweep = value if isinstance(value, list) else [value]
+            normalized.append((key, tuple(_freeze(item) for item in sweep)))
+        return cls(family=family, params=tuple(normalized))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "family": self.family,
+            "params": {key: [_thaw(item) for item in sweep] for key, sweep in self.params},
+        }
+
+    def points(self) -> list[tuple[tuple[str, Any], ...]]:
+        """The concrete parameter assignments of this grid, in sweep order."""
+        keys = [key for key, _ in self.params]
+        sweeps = [sweep for _, sweep in self.params]
+        return [tuple(zip(keys, combo)) for combo in itertools.product(*sweeps)]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-resolved unit of campaign work.
+
+    All fields are primitives (or tuples of primitives), so scenarios are
+    hashable, picklable across multiprocessing workers, and canonically
+    JSON-able.  The graph itself is *not* stored -- it is regenerated from
+    ``(family, graph_params, seed)`` wherever the scenario runs, which keeps
+    shard payloads tiny and the content hash independent of object identity.
+    """
+
+    kind: str
+    family: str
+    graph_params: tuple[tuple[str, Any], ...]
+    port_strategy: str
+    engine: str
+    seed: int
+    model_class: str | None = None
+    algorithm: str | None = None
+    formula_set: str | None = None
+    max_rounds: int = 10_000
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "family": self.family,
+            "graph_params": {key: _thaw(value) for key, value in self.graph_params},
+            "port_strategy": self.port_strategy,
+            "engine": self.engine,
+            "seed": self.seed,
+            "model_class": self.model_class,
+            "algorithm": self.algorithm,
+            "formula_set": self.formula_set,
+            "max_rounds": self.max_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Scenario":
+        return cls(
+            kind=payload["kind"],
+            family=payload["family"],
+            graph_params=tuple(
+                (key, _freeze(value)) for key, value in sorted(payload["graph_params"].items())
+            ),
+            port_strategy=payload["port_strategy"],
+            engine=payload["engine"],
+            seed=payload["seed"],
+            model_class=payload.get("model_class"),
+            algorithm=payload.get("algorithm"),
+            formula_set=payload.get("formula_set"),
+            max_rounds=payload.get("max_rounds", 10_000),
+        )
+
+    def graph_point(self) -> tuple:
+        """Identity of the graph instance this scenario runs on.
+
+        The seed participates only when the family actually consumes it: for
+        a deterministic family every seed builds the same graph, and callers
+        that bucket by graph point (the invariance rollups, the executor's
+        graph cache) must see those scenarios as one instance -- otherwise
+        numbering variation across seeds would never be compared.
+        """
+        seeded = registry.family_seeded(self.family, dict(self.graph_params))
+        return (self.family, self.graph_params, self.seed if seeded else None)
+
+    def content_hash(self) -> str:
+        """The store address of this scenario's result (cached: scenarios are
+        frozen, and the warm-resume path hashes every scenario repeatedly)."""
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            cached = content_digest(self.to_dict())
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
+    def describe(self) -> str:
+        params = ",".join(f"{key}={value}" for key, value in self.graph_params)
+        workload = self.algorithm or self.formula_set or "?"
+        return (
+            f"{self.kind}:{self.family}({params})/{self.port_strategy}"
+            f"/{self.model_class or '-'}/{workload}/seed={self.seed}/{self.engine}"
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative scenario sweep.
+
+    Axes multiply: every graph point x port strategy x workload x engine x
+    seed becomes one :class:`Scenario`.  For ``kind="execution"`` the workload
+    axis is ``algorithms`` if given, otherwise the registry's representative
+    algorithm of each entry of ``model_classes``; for ``kind="logic"`` it is
+    ``model_classes`` (choosing the Kripke variant via Theorem 2) x
+    ``formula_sets``.
+
+    ``expectations`` maps a workload name (algorithm or formula set) to the
+    expected output-invariance verdict of the aggregation rollups; campaigns
+    without expectations report observations with ``matches=True``.
+    """
+
+    name: str
+    kind: str
+    graphs: list[GraphGrid]
+    port_strategies: list[str] = field(default_factory=lambda: ["consistent"])
+    model_classes: list[str] = field(default_factory=list)
+    algorithms: list[str] = field(default_factory=list)
+    formula_sets: list[str] = field(default_factory=list)
+    engines: list[str] = field(default_factory=lambda: ["compiled"])
+    seeds: list[int] = field(default_factory=lambda: [0])
+    max_rounds: int = 10_000
+    description: str = ""
+    expectations: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown campaign kind {self.kind!r}; expected one of {KINDS}")
+        # Reject axes the kind would silently ignore -- a spec that names an
+        # axis expects it to sweep.
+        if self.kind == "execution" and self.formula_sets:
+            raise ValueError("'formula_sets' only applies to kind='logic' campaigns")
+        if self.kind == "logic" and self.algorithms:
+            raise ValueError("'algorithms' only applies to kind='execution' campaigns")
+
+    # ------------------------------------------------------------------ #
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "graphs": [grid.to_dict() for grid in self.graphs],
+            "port_strategies": list(self.port_strategies),
+            "model_classes": list(self.model_classes),
+            "algorithms": list(self.algorithms),
+            "formula_sets": list(self.formula_sets),
+            "engines": list(self.engines),
+            "seeds": list(self.seeds),
+            "max_rounds": self.max_rounds,
+            "description": self.description,
+            "expectations": dict(self.expectations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignSpec":
+        def axis(key: str, default: list) -> list:
+            # Only a *missing* (or null) axis falls back to the default; an
+            # explicitly empty list is preserved, keeping the round-trip
+            # lossless (an empty axis legitimately expands to 0 scenarios).
+            value = payload.get(key)
+            return default if value is None else list(value)
+
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            graphs=[
+                GraphGrid.of(entry["family"], entry.get("params") or {})
+                for entry in payload["graphs"]
+            ],
+            port_strategies=axis("port_strategies", ["consistent"]),
+            model_classes=axis("model_classes", []),
+            algorithms=axis("algorithms", []),
+            formula_sets=axis("formula_sets", []),
+            engines=axis("engines", ["compiled"]),
+            seeds=axis("seeds", [0]),
+            max_rounds=payload.get("max_rounds", 10_000),
+            description=payload.get("description", ""),
+            expectations=dict(payload.get("expectations") or {}),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Content digest of the spec itself (part of the manifest digest)."""
+        return content_digest(self.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+
+    def _validate_axes(self) -> None:
+        """Fail fast on symbolic axis values no registry can resolve.
+
+        Expansion-time validation turns a typo into one clean error instead
+        of a raw KeyError mid-evaluation inside a worker, after compute has
+        been spent.  Custom families/algorithms/formula sets must therefore
+        be registered before the spec expands -- which is the documented
+        extension flow anyway.
+        """
+        def check(axis: str, values: list[str], known: Iterable[str]) -> None:
+            known = sorted(known)
+            for value in values:
+                if value not in known:
+                    raise ValueError(
+                        f"unknown {axis} {value!r} in campaign {self.name!r}; "
+                        f"known: {', '.join(known)}"
+                    )
+
+        check("graph family", [grid.family for grid in self.graphs], registry.GRAPH_FAMILIES)
+        for grid in self.graphs:
+            entry = registry.GRAPH_FAMILIES[grid.family]
+            # Only seeded generators accept a pinned 'seed' parameter.
+            allowed = set(entry.params) | ({"seed"} if entry.seeded else set())
+            for key, _ in grid.params:
+                if key in allowed or ("base" in entry.params and key.startswith("base_")):
+                    continue
+                raise ValueError(
+                    f"unknown parameter {key!r} for graph family {grid.family!r} "
+                    f"in campaign {self.name!r}; expected: {', '.join(sorted(allowed))}"
+                )
+        check("port strategy", self.port_strategies, registry.PORT_STRATEGIES)
+        check("engine", self.engines, ("compiled", "reference"))
+        check("model class", self.model_classes, registry.MODEL_DEFAULT_ALGORITHMS)
+        check("algorithm", self.algorithms, registry.ALGORITHMS)
+        check("formula set", self.formula_sets, registry.FORMULA_SETS)
+
+    def _workloads(self) -> list[tuple[str | None, str | None, str | None]]:
+        """The workload axis: ``(model_class, algorithm, formula_set)`` triples."""
+        if self.kind == "execution":
+            if self.algorithms:
+                return [(None, name, None) for name in self.algorithms]
+            if not self.model_classes:
+                raise ValueError(
+                    "an execution campaign needs 'algorithms' or 'model_classes'"
+                )
+            return [
+                (cls_name, registry.MODEL_DEFAULT_ALGORITHMS[cls_name], None)
+                for cls_name in self.model_classes
+            ]
+        if not self.formula_sets:
+            raise ValueError("a logic campaign needs at least one formula set")
+        classes = self.model_classes or ["SB"]
+        return [
+            (cls_name, None, fset)
+            for cls_name in classes
+            for fset in self.formula_sets
+        ]
+
+    def expand(self) -> list[Scenario]:
+        """The deterministic scenario list of this campaign.
+
+        Axis order is fixed (graphs, then graph points, then port strategies,
+        workloads, engines, seeds), so the same spec always expands to the
+        same list in the same order -- the property the manifest digest and
+        the resume path rely on.
+
+        The seed axis only multiplies where a seed can actually reach the
+        result -- a seeded graph family or a randomized port strategy.  For a
+        deterministic family under the canonical consistent numbering every
+        seed would compute byte-identical records under distinct content
+        hashes, defeating the store's dedup, so those combinations collapse
+        to the first seed of the axis.
+        """
+        self._validate_axes()
+        scenarios: list[Scenario] = []
+        for grid in self.graphs:
+            for point in grid.points():
+                # Per point, not per grid: a derived family's base (and with
+                # it the effective seededness) can vary across the sweep.
+                family_seeded = registry.family_seeded(grid.family, dict(point))
+                for strategy in self.port_strategies:
+                    strategy_seeded = registry.PORT_STRATEGY_SEEDED.get(strategy, True)
+                    if family_seeded or strategy_seeded:
+                        seeds = self.seeds
+                    else:
+                        # Canonical seed, not self.seeds[0]: identical
+                        # computations must hash identically across campaigns
+                        # with different seed axes.
+                        seeds = [0] if self.seeds else []
+                    for model_class, algorithm, fset in self._workloads():
+                        for engine in self.engines:
+                            for seed in seeds:
+                                scenarios.append(
+                                    Scenario(
+                                        kind=self.kind,
+                                        family=grid.family,
+                                        graph_params=point,
+                                        port_strategy=strategy,
+                                        engine=engine,
+                                        seed=seed,
+                                        model_class=model_class,
+                                        algorithm=algorithm,
+                                        formula_set=fset,
+                                        max_rounds=self.max_rounds,
+                                    )
+                                )
+        return scenarios

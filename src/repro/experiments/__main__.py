@@ -4,22 +4,65 @@ Usage::
 
     python -m repro.experiments            # run all experiments (E1-E12)
     python -m repro.experiments E3 E10     # run selected experiments
+    python -m repro.experiments --list     # enumerate registered experiment ids
+    python -m repro.experiments --json E3  # machine-readable records
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
-from repro.experiments.registry import run_all_experiments, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_all_experiments, run_experiment
 from repro.experiments.report import format_report
 
 
+def _list_experiments() -> str:
+    lines = []
+    for experiment_id, runner in EXPERIMENTS.items():
+        module = sys.modules[runner.__module__]
+        summary = next(iter((module.__doc__ or "").strip().splitlines()), "")
+        lines.append(f"{experiment_id:4} {summary}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str]) -> int:
-    if argv:
-        results = [run_experiment(experiment_id) for experiment_id in argv]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper-vs-measured experiment report.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiment ids and exit"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON records"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_list_experiments())
+        return 0
+
+    if args.ids:
+        # Validate up front: a KeyError from *inside* an experiment is a real
+        # bug and must surface as a traceback, not as "unknown experiment".
+        unknown = [experiment_id for experiment_id in args.ids if experiment_id not in EXPERIMENTS]
+        if unknown:
+            known = ", ".join(EXPERIMENTS)
+            raise SystemExit(
+                f"error: unknown experiment {unknown[0]!r}; known ids: {known} "
+                f"(use --list to enumerate them)"
+            )
+        results = [run_experiment(experiment_id) for experiment_id in args.ids]
     else:
         results = run_all_experiments()
-    print(format_report(results))
+
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        print(format_report(results))
     return 0 if all(result.all_match for result in results) else 1
 
 

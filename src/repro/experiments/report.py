@@ -20,6 +20,15 @@ class Row:
     measured: str
     matches: bool
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (consumed by ``--json`` and campaign CI)."""
+        return {
+            "metric": self.metric,
+            "paper": self.paper,
+            "measured": self.measured,
+            "matches": self.matches,
+        }
+
 
 @dataclass
 class ExperimentResult:
@@ -36,6 +45,20 @@ class ExperimentResult:
     @property
     def all_match(self) -> bool:
         return all(row.matches for row in self.rows)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form: the same records humans read as tables.
+
+        Campaign aggregation and the CI artifacts consume this shape (one
+        object per experiment, one entry per paper-vs-measured row).
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "all_match": self.all_match,
+            "rows": [row.to_dict() for row in self.rows],
+        }
 
     def format(self) -> str:
         """A plain-text table of the result."""

@@ -24,17 +24,22 @@ from repro.graphs.ports import (
     random_port_numbering,
 )
 from repro.graphs.generators import (
+    circulant_graph,
     complete_bipartite_graph,
     complete_graph,
     cycle_graph,
+    double_cover_graph,
     figure9_graph,
     from_networkx,
     grid_graph,
     hypercube_graph,
     odd_odd_gadget_pair,
     path_graph,
+    random_lift,
     random_regular_graph,
+    random_tree,
     star_graph,
+    torus_graph,
 )
 from repro.graphs.matching import (
     has_perfect_matching,
@@ -55,17 +60,22 @@ __all__ = [
     "consistent_port_numbering",
     "local_type",
     "random_port_numbering",
+    "circulant_graph",
     "complete_bipartite_graph",
     "complete_graph",
     "cycle_graph",
+    "double_cover_graph",
     "figure9_graph",
     "from_networkx",
     "grid_graph",
     "hypercube_graph",
     "odd_odd_gadget_pair",
     "path_graph",
+    "random_lift",
     "random_regular_graph",
+    "random_tree",
     "star_graph",
+    "torus_graph",
     "has_perfect_matching",
     "maximum_matching",
     "minimum_vertex_cover",

@@ -15,6 +15,7 @@ constructions of the paper:
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from typing import Any
 
 from repro.graphs.graph import Graph, Node
@@ -73,6 +74,116 @@ def grid_graph(rows: int, cols: int) -> Graph:
                 edges.append(((r, c), (r + 1, c)))
             if c + 1 < cols:
                 edges.append(((r, c), (r, c + 1)))
+    return Graph(nodes=nodes, edges=edges)
+
+
+def circulant_graph(n: int, jumps: Sequence[int] = (1,)) -> Graph:
+    """The circulant graph ``C_n(jumps)``: node ``i`` is adjacent to ``i ± j (mod n)``.
+
+    Every jump must satisfy ``1 <= j <= n // 2``; the graph is
+    ``2k``-regular for ``k`` distinct jumps (one edge less per node for the
+    jump ``n/2`` when ``n`` is even).  ``C_n(1)`` is the cycle, ``C_n(1..n//2)``
+    the complete graph.
+    """
+    if n < 3:
+        raise ValueError("a circulant graph needs at least three nodes")
+    jump_set = sorted(set(jumps))
+    if not jump_set:
+        raise ValueError("a circulant graph needs at least one jump")
+    if any(j < 1 or j > n // 2 for j in jump_set):
+        raise ValueError(f"jumps must lie in [1, {n // 2}] for n={n}; got {jump_set}")
+    edges: set[frozenset[int]] = set()
+    for i in range(n):
+        for j in jump_set:
+            edges.add(frozenset((i, (i + j) % n)))
+    return Graph(nodes=range(n), edges=[tuple(sorted(edge)) for edge in edges])
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` torus (wraparound grid) with nodes ``(r, c)``.
+
+    Both dimensions must be at least 3 so that the wraparound edges do not
+    collapse into parallel edges; the result is 4-regular and vertex-transitive.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3 (smaller wraps collapse edges)")
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            edges.append(((r, c), ((r + 1) % rows, c)))
+            edges.append(((r, c), (r, (c + 1) % cols)))
+    return Graph(nodes=nodes, edges=edges)
+
+
+def random_tree(n: int, seed: int | None = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` nodes (via a Prüfer sequence).
+
+    Seed-deterministic: the same ``(n, seed)`` always yields the same tree.
+    """
+    if n < 1:
+        raise ValueError("a tree needs at least one node")
+    if n == 1:
+        return Graph(nodes=[0])
+    if n == 2:
+        return Graph(nodes=[0, 1], edges=[(0, 1)])
+    rng = random.Random(seed)
+    pruefer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in pruefer:
+        degree[node] += 1
+    edges: list[tuple[int, int]] = []
+    # Standard Prüfer decoding: repeatedly join the smallest leaf to the next
+    # sequence entry.  A heap keeps the leaf choice deterministic.
+    import heapq
+
+    leaves = [i for i in range(n) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for node in pruefer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, node))
+        degree[node] -= 1
+        if degree[node] == 1:
+            heapq.heappush(leaves, node)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return Graph(nodes=range(n), edges=edges)
+
+
+def double_cover_graph(graph: Graph) -> Graph:
+    """The bipartite double cover of ``graph`` (Lemma 15 / Figure 8).
+
+    Thin wrapper over :func:`repro.graphs.covers.bipartite_double_cover` so
+    the construction is available from the generator namespace (and the
+    campaign graph-family registry) alongside the base families.  Nodes are
+    ``(v, 1)`` / ``(v, 2)``; degrees are preserved.
+    """
+    from repro.graphs.covers import bipartite_double_cover
+
+    return bipartite_double_cover(graph)
+
+
+def random_lift(graph: Graph, k: int, seed: int | None = None) -> Graph:
+    """A uniformly random ``k``-lift (``k``-fold covering graph) of ``graph``.
+
+    Every node ``v`` becomes the fibre ``(v, 0), ..., (v, k-1)``; every edge
+    ``{u, v}`` becomes the perfect matching ``(u, i) - (v, pi(i))`` for a
+    permutation ``pi`` drawn independently per edge.  Degrees are preserved
+    (the projection onto ``graph`` is a covering map), which is what makes
+    lifts interesting scenario fodder: anonymous algorithms cannot tell a
+    graph from its lifts.  Seed-deterministic; ``k = 2`` with the identity
+    permutations replaced by swaps recovers double covers.
+    """
+    if k < 1:
+        raise ValueError("a lift needs at least one sheet")
+    rng = random.Random(seed)
+    nodes = [(v, i) for v in graph.nodes for i in range(k)]
+    edges = []
+    for u, v in graph.edges:
+        permutation = list(range(k))
+        rng.shuffle(permutation)
+        edges.extend(((u, i), (v, permutation[i])) for i in range(k))
     return Graph(nodes=nodes, edges=edges)
 
 

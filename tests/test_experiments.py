@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments import format_report
+from repro.experiments.__main__ import main as experiments_main
 from repro.experiments.registry import EXPERIMENTS, run_all_experiments, run_experiment
 from repro.experiments.report import ExperimentResult
 
@@ -50,3 +53,35 @@ class TestReporting:
         assert result.all_match
         result.add("m2", "p", "m", False)
         assert not result.all_match
+
+    def test_to_dict_round_trips_rows(self):
+        result = ExperimentResult("E0", "demo", "nowhere")
+        result.add("metric", "paper says", "we measured", True)
+        payload = result.to_dict()
+        assert payload["experiment_id"] == "E0"
+        assert payload["all_match"] is True
+        assert payload["rows"] == [
+            {"metric": "metric", "paper": "paper says", "measured": "we measured", "matches": True}
+        ]
+        # the payload is genuinely machine-readable
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCommandLine:
+    def test_list_enumerates_registered_ids(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_unknown_id_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown experiment 'E99'"):
+            experiments_main(["E99"])
+
+    def test_json_flag_emits_records(self, capsys):
+        assert experiments_main(["--json", "E1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["experiment_id"] == "E1"
+        assert payload[0]["all_match"] is True
+        assert all(row["matches"] for row in payload[0]["rows"])

@@ -6,9 +6,11 @@ import pytest
 
 from repro.graphs.generators import (
     all_graphs_with_max_degree,
+    circulant_graph,
     complete_bipartite_graph,
     complete_graph,
     cycle_graph,
+    double_cover_graph,
     figure9_graph,
     grid_graph,
     hypercube_graph,
@@ -17,8 +19,11 @@ from repro.graphs.generators import (
     path_graph,
     random_bounded_degree_graph,
     random_graph,
+    random_lift,
     random_regular_graph,
+    random_tree,
     star_graph,
+    torus_graph,
 )
 from repro.graphs.matching import has_perfect_matching
 from repro.problems.separating import OddOddNeighbours
@@ -85,6 +90,73 @@ class TestStandardFamilies:
         for seed in range(5):
             graph = random_bounded_degree_graph(15, 3, seed=seed)
             assert graph.max_degree() <= 3
+
+
+class TestCampaignFamilies:
+    """The scenario-diversity generators added for the campaign registry."""
+
+    def test_circulant_is_cycle_for_jump_one(self):
+        assert circulant_graph(6, (1,)) == cycle_graph(6)
+
+    def test_circulant_regularity_and_port_count(self):
+        graph = circulant_graph(10, (1, 3))
+        assert graph.is_regular(4)
+        # total port count = sum of degrees = 2 * |E|
+        assert sum(graph.degrees().values()) == 2 * graph.number_of_edges == 40
+
+    def test_circulant_half_jump_contributes_single_edge(self):
+        graph = circulant_graph(8, (4,))
+        assert graph.is_regular(1)
+
+    def test_circulant_rejects_bad_jumps(self):
+        with pytest.raises(ValueError):
+            circulant_graph(8, (5,))
+        with pytest.raises(ValueError):
+            circulant_graph(8, ())
+
+    def test_torus_is_four_regular(self):
+        graph = torus_graph(3, 5)
+        assert graph.number_of_nodes == 15
+        assert graph.is_regular(4)
+        assert graph.is_connected()
+        assert sum(graph.degrees().values()) == 2 * graph.number_of_edges
+
+    def test_torus_rejects_degenerate_wraps(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+    def test_random_tree_is_a_tree(self):
+        for n in (1, 2, 3, 9, 20):
+            tree = random_tree(n, seed=7)
+            assert tree.number_of_nodes == n
+            assert tree.number_of_edges == n - 1 if n > 1 else tree.number_of_edges == 0
+            assert tree.is_connected()
+
+    def test_random_tree_seed_deterministic(self):
+        assert random_tree(15, seed=3) == random_tree(15, seed=3)
+        assert random_tree(15, seed=3) != random_tree(15, seed=4)
+
+    def test_double_cover_preserves_degrees(self):
+        base = star_graph(4)
+        cover = double_cover_graph(base)
+        assert cover.number_of_nodes == 2 * base.number_of_nodes
+        assert cover.is_bipartite()
+        for node in base.nodes:
+            assert cover.degree((node, 1)) == base.degree(node)
+            assert cover.degree((node, 2)) == base.degree(node)
+
+    def test_random_lift_preserves_degrees(self):
+        base = circulant_graph(6, (1, 2))
+        lift = random_lift(base, 3, seed=11)
+        assert lift.number_of_nodes == 3 * base.number_of_nodes
+        assert lift.number_of_edges == 3 * base.number_of_edges
+        for node in base.nodes:
+            for sheet in range(3):
+                assert lift.degree((node, sheet)) == base.degree(node)
+
+    def test_random_lift_seed_deterministic(self):
+        base = cycle_graph(5)
+        assert random_lift(base, 2, seed=9) == random_lift(base, 2, seed=9)
 
 
 class TestFigure9Graph:
