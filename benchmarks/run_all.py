@@ -44,9 +44,14 @@ _NEW_VALUES = {"engine", "compiled", "warm"}
 _OLD_VALUES = {"seed", "reference", "cold"}
 
 #: The modules the CI smoke path exercises (``--quick``): one engine-bound,
-#: one logic-bound and the campaign benchmarks -- every summary section stays
-#: populated while the wall time stays in CI budget.
-QUICK_MODULES = ("bench_campaign", "bench_execution", "bench_logic")
+#: one logic-bound, the campaign and the correspondence benchmarks -- every
+#: summary section stays populated while the wall time stays in CI budget.
+QUICK_MODULES = (
+    "bench_campaign",
+    "bench_correspondence",
+    "bench_execution",
+    "bench_logic",
+)
 
 
 def discover_benchmarks() -> list[Path]:
@@ -107,8 +112,9 @@ def summarize_file(name: str, data: dict, wall: float) -> dict:
         if "sync_rounds" in extra:
             entry["sync_rounds"] = extra["sync_rounds"]
             entry["rounds_per_sec"] = extra["sync_rounds"] / stats["mean"]
-        if "nodes" in extra:
-            entry["nodes"] = extra["nodes"]
+        for key in ("nodes", "tree_size", "dag_size", "instances"):
+            if key in extra:
+                entry[key] = extra[key]
         tests.append(entry)
     return {"wall_time_s": round(wall, 3), "tests": tests}
 
@@ -217,6 +223,30 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
         summary["geomean_warm_store_speedup"] = round(
             _geomean([pair["speedup"] for pair in campaign_pairs]), 2
         )
+    # The Theorem 2 pipeline: compiled vs seed round trips, plus the
+    # DAG-vs-tree compression of the hash-consed Table 4/5 formulas.
+    correspondence_pairs = [
+        pair for pair in pairs if pair["file"] == "bench_correspondence"
+    ]
+    if correspondence_pairs:
+        summary["correspondence_pairs"] = correspondence_pairs
+        summary["geomean_correspondence_speedup"] = round(
+            _geomean([pair["speedup"] for pair in correspondence_pairs]), 2
+        )
+    sizes = []
+    for test in benches.get("bench_correspondence", {}).get("tests", []):
+        if "tree_size" in test and "dag_size" in test:
+            sizes.append(
+                {
+                    "name": test["name"],
+                    "tree_size": test["tree_size"],
+                    "dag_size": test["dag_size"],
+                    "ratio": round(test["tree_size"] / max(test["dag_size"], 1), 1),
+                }
+            )
+    if sizes:
+        summary["correspondence_sizes"] = sizes
+        summary["max_dag_compression"] = max(entry["ratio"] for entry in sizes)
     return summary
 
 

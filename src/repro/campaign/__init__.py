@@ -28,10 +28,13 @@ from repro.campaign.registry import (
     ALGORITHMS,
     FORMULA_SETS,
     GRAPH_FAMILIES,
+    MACHINES,
     MODEL_DEFAULT_ALGORITHMS,
     PORT_STRATEGIES,
     GraphFamily,
+    MachineWorkload,
     build_graph,
+    machine_workload,
     register_graph_family,
 )
 from repro.campaign.spec import CampaignSpec, GraphGrid, Scenario
@@ -46,6 +49,8 @@ __all__ = [
     "GRAPH_FAMILIES",
     "GraphFamily",
     "GraphGrid",
+    "MACHINES",
+    "MachineWorkload",
     "MODEL_DEFAULT_ALGORITHMS",
     "PORT_STRATEGIES",
     "ResultStore",
@@ -55,6 +60,7 @@ __all__ = [
     "campaign_result",
     "evaluate_scenarios",
     "load_records",
+    "machine_workload",
     "record_digest",
     "register_graph_family",
     "report_campaign",

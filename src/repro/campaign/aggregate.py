@@ -16,7 +16,11 @@ Rollups group records by workload (algorithm or formula set):
   the SV/VV workloads numbering-sensitive), the row matches only if the
   verdict agrees;
 * logic campaigns report, per ``formula set x model class``, whether every
-  scenario's bisimilarity-invariance check held (Fact 1 -- always expected).
+  scenario's bisimilarity-invariance check held (Fact 1 -- always expected);
+* correspondence campaigns report, per ``machine x model class``, whether
+  every Theorem 2 round trip agreed on all three fronts (machine output ==
+  formula extension == recompiled formula-algorithm output), plus the
+  DAG-vs-tree size of the emitted formulas.
 """
 
 from __future__ import annotations
@@ -39,7 +43,9 @@ def load_records(store: ResultStore, name: str) -> tuple[CampaignSpec, list[dict
 
 def _workload_of(record: dict[str, Any]) -> str:
     scenario = record["scenario"]
-    return scenario["algorithm"] or scenario["formula_set"] or "?"
+    return (
+        scenario["algorithm"] or scenario["formula_set"] or scenario.get("machine") or "?"
+    )
 
 
 def rollup_execution(records: list[dict[str, Any]]) -> dict[str, dict[str, Any]]:
@@ -88,6 +94,32 @@ def rollup_logic(records: list[dict[str, Any]]) -> dict[tuple[str, str], dict[st
     return rollups
 
 
+def rollup_correspondence(
+    records: list[dict[str, Any]],
+) -> dict[tuple[str, str], dict[str, Any]]:
+    """Per ``(machine, model class)`` Theorem 2 round-trip rollups."""
+    by_key: dict[tuple[str, str], list[dict[str, Any]]] = defaultdict(list)
+    for record in records:
+        scenario = record["scenario"]
+        by_key[(scenario.get("machine") or "?", scenario["model_class"] or "-")].append(
+            record
+        )
+
+    rollups: dict[tuple[str, str], dict[str, Any]] = {}
+    for key, group in sorted(by_key.items()):
+        rollups[key] = {
+            "scenarios": len(group),
+            "instances": sum(record["result"]["instances"] for record in group),
+            "agree": all(record["result"]["agree"] for record in group),
+            "oracle_checked": sum(
+                1 for record in group if record["result"]["oracle_checked"]
+            ),
+            "max_dag_size": max(record["result"]["dag_size"] for record in group),
+            "max_tree_size": max(record["result"]["tree_size"] for record in group),
+        }
+    return rollups
+
+
 def campaign_result(spec: CampaignSpec, records: list[dict[str, Any]]) -> ExperimentResult:
     """Fold campaign records into an :class:`ExperimentResult`."""
     result = ExperimentResult(
@@ -115,6 +147,24 @@ def campaign_result(spec: CampaignSpec, records: list[dict[str, Any]]) -> Experi
                 f"halted={rollup['all_halted']}, invariant={rollup['invariant']}, "
                 f"scenarios={rollup['scenarios']}",
                 matches,
+            )
+    elif spec.kind == "correspondence":
+        for (machine, model_class), rollup in rollup_correspondence(records).items():
+            expected = spec.expectations.get(machine, True)
+            ratio = (
+                rollup["max_tree_size"] / rollup["max_dag_size"]
+                if rollup["max_dag_size"]
+                else 1.0
+            )
+            result.add(
+                f"{machine} on {model_class}",
+                "machine == formula == recompiled algorithm (Theorem 2)"
+                if expected
+                else "round trip expected to disagree",
+                f"agree={rollup['agree']}, instances={rollup['instances']}, "
+                f"dag={rollup['max_dag_size']} vs tree={rollup['max_tree_size']} "
+                f"({ratio:.0f}x), oracle_checked={rollup['oracle_checked']}",
+                rollup["agree"] == expected,
             )
     else:
         for (fset, model_class), rollup in rollup_logic(records).items():

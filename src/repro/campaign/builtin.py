@@ -9,6 +9,14 @@ These re-express the sweep-shaped experiments as declarative specs:
   MV) compute numbering-invariant outputs, while the SV and VV
   representatives (leaf election, port echo) genuinely use port numbers --
   the information gap the hierarchy SB ⊊ MB = VB ⊊ SV = MV = VV is built on.
+* ``e2-correspondence`` -- the Theorem 2 round-trip sweep: the library
+  ``parity`` machine of every arbitrary-numbering class is compiled to its
+  Table 4/5 formula (a hash-consed DAG) and back to a compiled
+  formula-algorithm, and the three fronts are cross-checked over non-trivial
+  topologies -- circulant, torus and random-lift families alongside the
+  simple ones -- under consistent and random numberings.  (VVc restricts to
+  consistent numberings, which a single spec's strategy axis cannot express
+  per class; it is exercised by experiment E4 and the test suite instead.)
 * ``e12-invariance`` -- the E12 bisimulation-invariance sweep: ML and GML
   formula batches model-checked over Kripke encodings of random
   bounded-degree graphs, verifying Fact 1 on every instance.
@@ -50,6 +58,25 @@ def e3_hierarchy_spec() -> CampaignSpec:
             "leaf-election": False,
             "port-echo": False,
         },
+    )
+
+
+def e2_correspondence_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="e2-correspondence",
+        kind="correspondence",
+        description="Theorem 2 round trips: machine == formula == recompiled algorithm",
+        graphs=[
+            GraphGrid.of("cycle", {"n": [4, 5]}),
+            GraphGrid.of("star", {"leaves": 3}),
+            GraphGrid.of("circulant", {"n": 8, "jumps": [[1, 2]]}),
+            GraphGrid.of("torus", {"rows": 3, "cols": 3}),
+            GraphGrid.of("lift", {"base": "cycle", "base_n": 5, "k": 2}),
+        ],
+        port_strategies=["consistent", "random"],
+        model_classes=["SB", "MB", "VB", "MV", "SV", "VV"],
+        machines=["parity"],
+        seeds=[0, 1],
     )
 
 
@@ -99,6 +126,7 @@ def smoke_logic_spec() -> CampaignSpec:
 
 
 BUILTIN_CAMPAIGNS: dict[str, Callable[[], CampaignSpec]] = {
+    "e2-correspondence": e2_correspondence_spec,
     "e3-hierarchy": e3_hierarchy_spec,
     "e12-invariance": e12_invariance_spec,
     "smoke": smoke_spec,

@@ -11,7 +11,12 @@ APIs rather than per-instance calls:
   shares one :class:`~repro.machines.fastpath.FastPathAlgorithm` cache;
 * logic scenarios batch their formula set through
   :func:`repro.logic.engine.check_many` on one compiled Kripke model per
-  instance, plus a partition-refinement bisimilarity pass.
+  instance, plus a partition-refinement bisimilarity pass;
+* correspondence scenarios run the Theorem 2 round trip
+  (:func:`repro.modal.correspondence.machine_roundtrip_report`) -- machine
+  outputs vs formula extension vs recompiled formula-algorithm -- with the
+  hash-consed Table 4/5 formula built once per ``(machine, class, Delta)``
+  and reused across the scenarios of a batch.
 
 Everything a worker needs travels as a :class:`~repro.campaign.spec.Scenario`
 (primitives only); graphs are regenerated in-worker from the family registry,
@@ -38,7 +43,16 @@ from repro.graphs.ports import PortNumbering
 from repro.logic.bisimulation import bisimilarity_partition
 from repro.logic.engine import check_many
 from repro.machines.models import ProblemClass
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.correspondence import machine_roundtrip_report
 from repro.modal.encoding import KripkeVariant, kripke_encoding, variant_for_class
+
+#: Node budget of the Table 4/5 construction for campaign scenarios.  High
+#: enough for the library machines on the registered graph families, low
+#: enough that a mis-specified sweep fails fast with a
+#: :class:`~repro.modal.algorithm_to_formula.FormulaSizeError` instead of
+#: hanging a worker.
+CORRESPONDENCE_NODE_BUDGET = 5_000_000
 
 
 def canonical_value(value: Any) -> Any:
@@ -166,6 +180,54 @@ def _logic_record(
     return _record(scenario, payload, time.perf_counter() - started)
 
 
+def _correspondence_record(
+    scenario: Scenario,
+    graph_cache: dict[tuple, Graph],
+    formula_cache: dict[tuple, Any],
+) -> dict[str, Any]:
+    """Evaluate one correspondence scenario: the Theorem 2 round trip.
+
+    The Table 4/5 formula of a ``(machine, class, Delta)`` coordinate is
+    built once per batch (``formula_cache``) -- the hash-consed pool dedups
+    the nodes anyway, but skipping the spec enumeration is what keeps a
+    sweep over many numberings of one graph family cheap.
+    """
+    started = time.perf_counter()
+    graph, numbering = _materialize(scenario, graph_cache)
+    problem_class = ProblemClass(scenario.model_class)
+    workload = registry.machine_workload(scenario.machine or registry.DEFAULT_MACHINE)
+    delta = max(graph.max_degree(), 1)
+    key = (workload.name, problem_class.value, delta)
+    cached = formula_cache.get(key)
+    if cached is None:
+        machine = workload.build(problem_class, delta)
+        formula = formula_for_machine(
+            machine,
+            problem_class,
+            workload.running_time,
+            max_formula_nodes=CORRESPONDENCE_NODE_BUDGET,
+        )
+        cached = formula_cache[key] = (machine, formula)
+    machine, formula = cached
+    report = machine_roundtrip_report(
+        machine,
+        problem_class,
+        workload.running_time,
+        pairs=[(graph, numbering)],
+        engine=scenario.engine,
+        cross_check=scenario.engine == "compiled",
+        max_rounds=scenario.max_rounds,
+        formula=formula,
+    )
+    payload = {
+        "nodes": graph.number_of_nodes,
+        "edges": graph.number_of_edges,
+        "delta": delta,
+        **report.to_dict(),
+    }
+    return _record(scenario, payload, time.perf_counter() - started)
+
+
 def _record(scenario: Scenario, payload: dict[str, Any], elapsed: float) -> dict[str, Any]:
     return {
         "hash": scenario.content_hash(),
@@ -179,11 +241,16 @@ def _record(scenario: Scenario, payload: dict[str, Any], elapsed: float) -> dict
 def evaluate_scenarios(scenarios: list[Scenario]) -> list[dict[str, Any]]:
     """Evaluate a batch of scenarios, returning records in scenario order."""
     graph_cache: dict[tuple, Graph] = {}
+    formula_cache: dict[tuple, Any] = {}
     execution = [scenario for scenario in scenarios if scenario.kind == "execution"]
     records = _execution_records(execution, graph_cache)
     for scenario in scenarios:
         if scenario.kind == "logic":
             records[scenario.content_hash()] = _logic_record(scenario, graph_cache)
+        elif scenario.kind == "correspondence":
+            records[scenario.content_hash()] = _correspondence_record(
+                scenario, graph_cache, formula_cache
+            )
     return [records[scenario.content_hash()] for scenario in scenarios]
 
 

@@ -12,7 +12,10 @@ This module is where the symbols resolve:
 * :data:`ALGORITHMS` / :data:`MODEL_DEFAULT_ALGORITHMS` -- the distributed
   algorithms a scenario may run, and the representative algorithm per problem
   class used when a spec sweeps over model classes;
-* :data:`FORMULA_SETS` -- named modal-formula batches for logic scenarios.
+* :data:`FORMULA_SETS` -- named modal-formula batches for logic scenarios;
+* :data:`MACHINES` -- delta-parametric finite-state machines for
+  correspondence scenarios (the Theorem 2 round trip of
+  :func:`repro.modal.correspondence.machine_roundtrip_report`).
 
 All registries are plain dicts: downstream PRs add scenarios by registering
 new entries, not by writing new sweep scripts.
@@ -45,6 +48,9 @@ from repro.graphs.ports import (
 )
 from repro.logic.syntax import And, Diamond, Formula, GradedDiamond, Not, Prop
 from repro.machines.algorithm import Algorithm
+from repro.machines.library import reference_machine
+from repro.machines.models import ProblemClass
+from repro.machines.state_machine import FiniteStateMachine
 
 
 def derived_seed(*parts: Any) -> int:
@@ -382,3 +388,52 @@ def formula_set(name: str) -> FormulaSet:
     except KeyError:
         known = ", ".join(sorted(FORMULA_SETS))
         raise KeyError(f"unknown formula set {name!r}; known: {known}") from None
+
+
+# --------------------------------------------------------------------------- #
+# Correspondence machines
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class MachineWorkload:
+    """A named machine family for correspondence scenarios.
+
+    ``build`` receives the scenario's problem class and the ``Delta`` of the
+    graph instance (machines are delta-parametric: the Table 4/5 formula is
+    built for the same ``Delta`` the machine runs under).  ``running_time``
+    is the halting bound ``T`` -- and the modal depth of the emitted formula.
+    """
+
+    name: str
+    build: Callable[[ProblemClass, int], FiniteStateMachine]
+    running_time: int
+    description: str = ""
+
+
+MACHINES: dict[str, MachineWorkload] = {
+    "parity": MachineWorkload(
+        "parity",
+        lambda problem_class, delta: reference_machine(problem_class, delta, rounds=1),
+        running_time=1,
+        description="one-round class-view predicate machine (library reference)",
+    ),
+    "parity-deep": MachineWorkload(
+        "parity-deep",
+        lambda problem_class, delta: reference_machine(problem_class, delta, rounds=2),
+        running_time=2,
+        description="two-round XOR-of-predicates machine (modal depth 2)",
+    ),
+}
+
+#: The machine a correspondence spec sweeps when its ``machines`` axis is
+#: empty (works for every model class).
+DEFAULT_MACHINE = "parity"
+
+
+def machine_workload(name: str) -> MachineWorkload:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known: {known}") from None

@@ -25,8 +25,9 @@ from typing import Any
 
 from repro.campaign import registry
 
-#: Scenario kinds: run a distributed algorithm, or model-check an encoding.
-KINDS = ("execution", "logic")
+#: Scenario kinds: run a distributed algorithm, model-check an encoding, or
+#: round-trip a finite-state machine through the Theorem 2 pipeline.
+KINDS = ("execution", "logic", "correspondence")
 
 
 def canonical_json(payload: Any) -> str:
@@ -108,10 +109,11 @@ class Scenario:
     model_class: str | None = None
     algorithm: str | None = None
     formula_set: str | None = None
+    machine: str | None = None
     max_rounds: int = 10_000
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "family": self.family,
             "graph_params": {key: _thaw(value) for key, value in self.graph_params},
@@ -123,6 +125,12 @@ class Scenario:
             "formula_set": self.formula_set,
             "max_rounds": self.max_rounds,
         }
+        # Only correspondence scenarios carry a machine; omitting the key
+        # otherwise keeps the content hashes of every pre-existing
+        # execution/logic record byte-stable across stores.
+        if self.machine is not None:
+            payload["machine"] = self.machine
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "Scenario":
@@ -138,6 +146,7 @@ class Scenario:
             model_class=payload.get("model_class"),
             algorithm=payload.get("algorithm"),
             formula_set=payload.get("formula_set"),
+            machine=payload.get("machine"),
             max_rounds=payload.get("max_rounds", 10_000),
         )
 
@@ -164,7 +173,7 @@ class Scenario:
 
     def describe(self) -> str:
         params = ",".join(f"{key}={value}" for key, value in self.graph_params)
-        workload = self.algorithm or self.formula_set or "?"
+        workload = self.algorithm or self.formula_set or self.machine or "?"
         return (
             f"{self.kind}:{self.family}({params})/{self.port_strategy}"
             f"/{self.model_class or '-'}/{workload}/seed={self.seed}/{self.engine}"
@@ -182,9 +191,13 @@ class CampaignSpec:
     ``model_classes`` (choosing the Kripke variant via Theorem 2) x
     ``formula_sets``.
 
-    ``expectations`` maps a workload name (algorithm or formula set) to the
-    expected output-invariance verdict of the aggregation rollups; campaigns
-    without expectations report observations with ``matches=True``.
+    For ``kind="correspondence"`` the workload axis is ``machines`` (library
+    machines round-tripped through the Theorem 2 pipeline) x
+    ``model_classes``.
+
+    ``expectations`` maps a workload name (algorithm, formula set or machine)
+    to the expected verdict of the aggregation rollups; campaigns without
+    expectations report observations with ``matches=True``.
     """
 
     name: str
@@ -194,6 +207,7 @@ class CampaignSpec:
     model_classes: list[str] = field(default_factory=list)
     algorithms: list[str] = field(default_factory=list)
     formula_sets: list[str] = field(default_factory=list)
+    machines: list[str] = field(default_factory=list)
     engines: list[str] = field(default_factory=lambda: ["compiled"])
     seeds: list[int] = field(default_factory=lambda: [0])
     max_rounds: int = 10_000
@@ -209,6 +223,13 @@ class CampaignSpec:
             raise ValueError("'formula_sets' only applies to kind='logic' campaigns")
         if self.kind == "logic" and self.algorithms:
             raise ValueError("'algorithms' only applies to kind='execution' campaigns")
+        if self.kind == "correspondence" and (self.algorithms or self.formula_sets):
+            raise ValueError(
+                "a correspondence campaign sweeps 'machines' x 'model_classes'; "
+                "'algorithms' and 'formula_sets' do not apply"
+            )
+        if self.kind != "correspondence" and self.machines:
+            raise ValueError("'machines' only applies to kind='correspondence' campaigns")
 
     # ------------------------------------------------------------------ #
     # Dict / JSON round-trip
@@ -223,6 +244,7 @@ class CampaignSpec:
             "model_classes": list(self.model_classes),
             "algorithms": list(self.algorithms),
             "formula_sets": list(self.formula_sets),
+            "machines": list(self.machines),
             "engines": list(self.engines),
             "seeds": list(self.seeds),
             "max_rounds": self.max_rounds,
@@ -250,6 +272,7 @@ class CampaignSpec:
             model_classes=axis("model_classes", []),
             algorithms=axis("algorithms", []),
             formula_sets=axis("formula_sets", []),
+            machines=axis("machines", []),
             engines=axis("engines", ["compiled"]),
             seeds=axis("seeds", [0]),
             max_rounds=payload.get("max_rounds", 10_000),
@@ -307,25 +330,35 @@ class CampaignSpec:
         check("model class", self.model_classes, registry.MODEL_DEFAULT_ALGORITHMS)
         check("algorithm", self.algorithms, registry.ALGORITHMS)
         check("formula set", self.formula_sets, registry.FORMULA_SETS)
+        check("machine", self.machines, registry.MACHINES)
 
-    def _workloads(self) -> list[tuple[str | None, str | None, str | None]]:
-        """The workload axis: ``(model_class, algorithm, formula_set)`` triples."""
+    def _workloads(self) -> list[tuple[str | None, str | None, str | None, str | None]]:
+        """The workload axis: ``(model_class, algorithm, formula_set, machine)``."""
         if self.kind == "execution":
             if self.algorithms:
-                return [(None, name, None) for name in self.algorithms]
+                return [(None, name, None, None) for name in self.algorithms]
             if not self.model_classes:
                 raise ValueError(
                     "an execution campaign needs 'algorithms' or 'model_classes'"
                 )
             return [
-                (cls_name, registry.MODEL_DEFAULT_ALGORITHMS[cls_name], None)
+                (cls_name, registry.MODEL_DEFAULT_ALGORITHMS[cls_name], None, None)
                 for cls_name in self.model_classes
+            ]
+        if self.kind == "correspondence":
+            if not self.model_classes:
+                raise ValueError("a correspondence campaign needs 'model_classes'")
+            machines = self.machines or [registry.DEFAULT_MACHINE]
+            return [
+                (cls_name, None, None, machine)
+                for cls_name in self.model_classes
+                for machine in machines
             ]
         if not self.formula_sets:
             raise ValueError("a logic campaign needs at least one formula set")
         classes = self.model_classes or ["SB"]
         return [
-            (cls_name, None, fset)
+            (cls_name, None, fset, None)
             for cls_name in classes
             for fset in self.formula_sets
         ]
@@ -361,7 +394,7 @@ class CampaignSpec:
                         # computations must hash identically across campaigns
                         # with different seed axes.
                         seeds = [0] if self.seeds else []
-                    for model_class, algorithm, fset in self._workloads():
+                    for model_class, algorithm, fset, machine in self._workloads():
                         for engine in self.engines:
                             for seed in seeds:
                                 scenarios.append(
@@ -375,6 +408,7 @@ class CampaignSpec:
                                         model_class=model_class,
                                         algorithm=algorithm,
                                         formula_set=fset,
+                                        machine=machine,
                                         max_rounds=self.max_rounds,
                                     )
                                 )

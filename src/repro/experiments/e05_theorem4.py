@@ -8,6 +8,12 @@ Measures what the theorem promises:
   round of this implementation);
 * after ``2 * Delta`` symmetry-breaking rounds no node has a pair of
   indistinguishable neighbours (Lemma 6), i.e. the phase-2 tags are distinct.
+
+All executions stream through the batch engine
+(:func:`repro.execution.engine.run_iter`): one batch per algorithm per
+graph, sharing the fast-path caches across the numbering sweep.  A final
+row runs the whole simulation workload again on the seed reference runner
+and cross-checks the compiled engine's outputs against it.
 """
 
 from __future__ import annotations
@@ -16,8 +22,8 @@ import random
 
 from repro.algorithms.basic import GatherDegreesAlgorithm
 from repro.core.simulations import simulate_multiset_with_set
+from repro.execution.engine import run_iter
 from repro.execution.runner import run as run_algorithm
-from repro.execution.trace import message_size
 from repro.experiments.report import ExperimentResult
 from repro.graphs.generators import cycle_graph, figure9_graph, path_graph, star_graph
 from repro.graphs.ports import random_port_numbering
@@ -38,16 +44,20 @@ def run() -> ExperimentResult:
         "cycle_6 (Delta=2)": cycle_graph(6),
         "figure9 (Delta=3)": figure9_graph(),
     }
+    engines_agree = True
+    cross_checked = 0
     for label, graph in graphs.items():
         delta = graph.max_degree()
         simulation = simulate_multiset_with_set(inner, delta)
+        instances = [(graph, random_port_numbering(graph, rng)) for _ in range(3)]
+        references = run_iter(inner, instances, memoize_transitions=True)
+        simulated_results = list(
+            run_iter(simulation, instances, record_trace=True, memoize_transitions=True)
+        )
         exact = True
         worst_rounds = 0
         worst_message = 0
-        for _ in range(3):
-            numbering = random_port_numbering(graph, rng)
-            reference = run_algorithm(inner, graph, numbering)
-            simulated = run_algorithm(simulation, graph, numbering, record_trace=True)
+        for reference, simulated in zip(references, simulated_results):
             exact = exact and simulated.outputs == reference.outputs
             worst_rounds = max(worst_rounds, simulated.rounds)
             worst_message = max(worst_message, simulated.trace.max_message_size())
@@ -58,6 +68,20 @@ def run() -> ExperimentResult:
             f"exact={exact}, rounds={worst_rounds}, max message size={worst_message}",
             exact and worst_rounds <= bound,
         )
+        # Differential oracle: the seed reference runner must reproduce the
+        # compiled engine's simulation outputs on the same instances.
+        for simulated, seed_result in zip(
+            simulated_results, run_iter(simulation, instances, engine="reference")
+        ):
+            cross_checked += 1
+            engines_agree = engines_agree and simulated.outputs == seed_result.outputs
+
+    result.add(
+        "compiled engine == seed runner on the simulation workload",
+        "identical outputs on every (graph, numbering) instance",
+        f"agree={engines_agree} over {cross_checked} instances",
+        engines_agree,
+    )
 
     # Lemma 6 on the Figure 9 graph: after 2*Delta rounds the phase-2 tags
     # (beta, degree, outgoing port) are pairwise distinct across any node's

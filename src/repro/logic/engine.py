@@ -18,12 +18,15 @@ execution layer got in :mod:`repro.execution.engine`:
   per-world successor/predecessor bitmasks, and represents every valuation --
   and every computed extension -- as a Python-int *bitset* (bit ``i`` set iff
   world ``i`` is in the set);
-* the model checker evaluates a formula bottom-up over bitsets: Boolean
-  connectives are single big-int operations, ``<a>phi`` is a union of
-  predecessor masks over the set bits of ``||phi||``, ``[a]phi`` is its De
-  Morgan dual and graded diamonds count ``mask & bits`` with
+* the model checker evaluates the hash-consed formula DAG
+  (:mod:`repro.logic.syntax`) in one ascending pass over pool node ids
+  (children-before-parents by construction) with a flat ``{node_id:
+  bitset}`` table -- no recursion, shared subformulas evaluated once:
+  Boolean connectives are single big-int operations, ``<a>phi`` is a union
+  of predecessor masks over the set bits of ``||phi||``, ``[a]phi`` is its
+  De Morgan dual and graded diamonds count ``mask & bits`` with
   ``int.bit_count``; :meth:`CompiledKripke.check_many` batches many formulas
-  over one model with a shared subformula cache and :func:`check_sweep`
+  over one model with a shared per-node cache and :func:`check_sweep`
   batches many models;
 * (graded/bounded) bisimilarity runs as signature-hash partition refinement
   over the flat arrays: each round maps every world to a hashable signature
@@ -46,17 +49,17 @@ from itertools import chain, compress
 
 from repro.logic.kripke import Index, KripkeModel, World
 from repro.logic.syntax import (
-    And,
-    Bottom,
-    Box,
-    Diamond,
+    KIND_AND,
+    KIND_BOTTOM,
+    KIND_BOX,
+    KIND_DIAMOND,
+    KIND_IMPLIES,
+    KIND_NOT,
+    KIND_OR,
+    KIND_PROP,
+    KIND_TOP,
     Formula,
-    GradedDiamond,
-    Implies,
-    Not,
-    Or,
-    Prop,
-    Top,
+    formula_pool,
 )
 
 #: Logic-engine backends selectable by wrappers, benchmarks and A/B tests.
@@ -252,43 +255,66 @@ class CompiledKripke:
     # Bitset model checker (Section 4.1)
     # ------------------------------------------------------------------ #
 
-    def extension_bits(self, formula: Formula, cache: dict[Formula, int] | None = None) -> int:
-        """The extension ``||formula||`` as a bitset, memoised per subformula."""
+    def extension_bits(self, formula: Formula, cache: dict[int, int] | None = None) -> int:
+        """The extension ``||formula||`` as a bitset, memoised per pool node.
+
+        The formula is a node of the hash-consed DAG
+        (:mod:`repro.logic.syntax`), so evaluation is one ascending pass
+        over the reachable pool ids -- children-before-parents by
+        construction -- with a flat ``{node_id: bitset}`` table instead of
+        the seed's recursion over formula objects.  Shared subformulas
+        (Table 4/5 emit them combinatorially) are evaluated once, and no
+        recursion limit applies however deep the formula is.
+        """
+        if not isinstance(formula, Formula):
+            raise TypeError(f"unknown formula type: {formula!r}")
         if cache is None:
             cache = {}
+        root = formula.node_id
+        hit = cache.get(root)
+        if hit is not None:
+            return hit
+        pool = formula_pool()
+        kinds, kids_of, payloads = pool.kinds, pool.children, pool.payloads
+        # Collect the uncached ids reachable from the root, pruning the
+        # traversal at already-cached nodes (shared caches across check_many
+        # batches skip whole subdags).
+        needed = {root}
+        stack = [root]
+        while stack:
+            for child in kids_of[stack.pop()]:
+                if child not in needed and child not in cache:
+                    needed.add(child)
+                    stack.append(child)
         all_mask = self.all_mask
-
-        def evaluate(phi: Formula) -> int:
-            bits = cache.get(phi)
-            if bits is not None:
-                return bits
-            if isinstance(phi, Prop):
-                bits = self.prop_bits.get(phi.name, 0)
-            elif isinstance(phi, Top):
+        for node in sorted(needed):
+            kind = kinds[node]
+            kids = kids_of[node]
+            if kind == KIND_PROP:
+                bits = self.prop_bits.get(payloads[node][0], 0)
+            elif kind == KIND_TOP:
                 bits = all_mask
-            elif isinstance(phi, Bottom):
+            elif kind == KIND_BOTTOM:
                 bits = 0
-            elif isinstance(phi, Not):
-                bits = all_mask ^ evaluate(phi.operand)
-            elif isinstance(phi, And):
-                bits = evaluate(phi.left) & evaluate(phi.right)
-            elif isinstance(phi, Or):
-                bits = evaluate(phi.left) | evaluate(phi.right)
-            elif isinstance(phi, Implies):
-                bits = (all_mask ^ evaluate(phi.left)) | evaluate(phi.right)
-            elif isinstance(phi, Diamond):
-                index = self._resolve_index(phi.index)
-                inner = evaluate(phi.operand)
-                bits = self._predecessors_of(index, inner)
-            elif isinstance(phi, Box):
+            elif kind == KIND_NOT:
+                bits = all_mask ^ cache[kids[0]]
+            elif kind == KIND_AND:
+                bits = cache[kids[0]] & cache[kids[1]]
+            elif kind == KIND_OR:
+                bits = cache[kids[0]] | cache[kids[1]]
+            elif kind == KIND_IMPLIES:
+                bits = (all_mask ^ cache[kids[0]]) | cache[kids[1]]
+            elif kind == KIND_DIAMOND:
+                index = self._resolve_index(payloads[node][0])
+                bits = self._predecessors_of(index, cache[kids[0]])
+            elif kind == KIND_BOX:
                 # [a]phi = ~<a>~phi: worlds with no successor outside ||phi||.
-                index = self._resolve_index(phi.index)
-                inner = evaluate(phi.operand)
-                bits = all_mask ^ self._predecessors_of(index, all_mask ^ inner)
-            elif isinstance(phi, GradedDiamond):
-                index = self._resolve_index(phi.index)
-                inner = evaluate(phi.operand)
-                grade = phi.grade
+                index = self._resolve_index(payloads[node][0])
+                bits = all_mask ^ self._predecessors_of(index, all_mask ^ cache[kids[0]])
+            else:  # KIND_GRADED
+                grade, raw_index = payloads[node]
+                index = self._resolve_index(raw_index)
+                inner = cache[kids[0]]
                 if grade == 0:
                     bits = all_mask
                 elif grade == 1:
@@ -305,20 +331,16 @@ class CompiledKripke:
                             if overlap and overlap.bit_count() >= grade:
                                 out[i >> 3] |= 1 << (i & 7)
                         bits = int.from_bytes(out, "little")
-            else:
-                raise TypeError(f"unknown formula type: {phi!r}")
-            cache[phi] = bits
-            return bits
+            cache[node] = bits
+        return cache[root]
 
-        return evaluate(formula)
-
-    def extension(self, formula: Formula, cache: dict[Formula, int] | None = None) -> frozenset[World]:
+    def extension(self, formula: Formula, cache: dict[int, int] | None = None) -> frozenset[World]:
         """The extension ``||formula||`` as a set of worlds."""
         return self.to_worlds(self.extension_bits(formula, cache))
 
     def check_many(self, formulas: Iterable[Formula]) -> list[frozenset[World]]:
-        """Extensions of many formulas with one shared subformula cache."""
-        cache: dict[Formula, int] = {}
+        """Extensions of many formulas with one shared per-node bitset cache."""
+        cache: dict[int, int] = {}
         return [self.to_worlds(self.extension_bits(formula, cache)) for formula in formulas]
 
     def satisfies(
@@ -336,41 +358,48 @@ class CompiledKripke:
         collects the evaluated ``(formula, world)`` pairs (used by the
         regression test guarding against full-extension evaluation).
         """
+        if not isinstance(formula, Formula):
+            raise TypeError(f"unknown formula type: {formula!r}")
         succ_lists = self.succ_lists
+        pool = formula_pool()
+        nodes = pool.nodes
         cache: dict[tuple[int, int], bool] = {}
 
         def holds(phi: Formula, i: int) -> bool:
-            key = (id(phi), i)
+            key = (phi.node_id, i)
             cached = cache.get(key)
             if cached is not None:
                 return cached
             if _trace is not None:
                 _trace.append((phi, self.worlds[i]))
-            if isinstance(phi, Prop):
-                value = bool(self.prop_bits.get(phi.name, 0) >> i & 1)
-            elif isinstance(phi, Top):
+            kind = pool.kinds[phi.node_id]
+            kids = pool.children[phi.node_id]
+            if kind == KIND_PROP:
+                value = bool(self.prop_bits.get(pool.payloads[phi.node_id][0], 0) >> i & 1)
+            elif kind == KIND_TOP:
                 value = True
-            elif isinstance(phi, Bottom):
+            elif kind == KIND_BOTTOM:
                 value = False
-            elif isinstance(phi, Not):
-                value = not holds(phi.operand, i)
-            elif isinstance(phi, And):
-                value = holds(phi.left, i) and holds(phi.right, i)
-            elif isinstance(phi, Or):
-                value = holds(phi.left, i) or holds(phi.right, i)
-            elif isinstance(phi, Implies):
-                value = (not holds(phi.left, i)) or holds(phi.right, i)
-            elif isinstance(phi, (Diamond, Box, GradedDiamond)):
-                index = self._resolve_index(phi.index)
+            elif kind == KIND_NOT:
+                value = not holds(nodes[kids[0]], i)
+            elif kind == KIND_AND:
+                value = holds(nodes[kids[0]], i) and holds(nodes[kids[1]], i)
+            elif kind == KIND_OR:
+                value = holds(nodes[kids[0]], i) or holds(nodes[kids[1]], i)
+            elif kind == KIND_IMPLIES:
+                value = (not holds(nodes[kids[0]], i)) or holds(nodes[kids[1]], i)
+            else:
+                payload = pool.payloads[phi.node_id]
+                index = self._resolve_index(payload[-1])
                 entry = succ_lists.get(index)
                 successors: Sequence[int] = entry[i] if entry is not None else ()
-                operand = phi.operand
-                if isinstance(phi, Diamond):
+                operand = nodes[kids[0]]
+                if kind == KIND_DIAMOND:
                     value = any(holds(operand, j) for j in successors)
-                elif isinstance(phi, Box):
+                elif kind == KIND_BOX:
                     value = all(holds(operand, j) for j in successors)
                 else:
-                    grade = phi.grade
+                    grade = payload[0]
                     count = 0
                     value = grade == 0
                     for j in successors:
@@ -379,8 +408,6 @@ class CompiledKripke:
                             if count >= grade:
                                 value = True
                                 break
-            else:
-                raise TypeError(f"unknown formula type: {phi!r}")
             cache[key] = value
             return value
 

@@ -17,11 +17,20 @@ Examples::
     parse_formula("deg1 & <>(deg2 | ~deg3)")
     parse_formula("<2,1> deg3")          # multimodal diamond with index (2, 1)
     parse_formula("<*,*>>=2 odd")        # graded diamond, grade 2
+
+Because the constructors hash-cons into the shared formula pool
+(:mod:`repro.logic.syntax`), parsing is pool-stable: parsing the same text
+twice -- or parsing ``str(phi)`` of an already-built formula whose indices
+are ints/``'*'``/identifiers -- returns the *identical* interned object, so
+parsed formulas share compiled-engine caches with programmatically built
+ones.  A small text-level memo additionally skips re-tokenising repeated
+inputs (campaign formula sets parse the same strings per scenario).
 """
 
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any
 
 from repro.logic.syntax import (
@@ -178,6 +187,11 @@ class _Parser:
         raise FormulaParseError(f"unexpected token {token!r}")
 
 
+@lru_cache(maxsize=4096)
 def parse_formula(text: str) -> Formula:
-    """Parse a formula from its text representation."""
+    """Parse a formula from its text representation.
+
+    Memoised: formulas are immutable interned values, so returning the
+    cached object for a repeated text is indistinguishable from reparsing.
+    """
     return _Parser(_tokenise(text)).parse_formula()

@@ -1,27 +1,171 @@
-"""Formula syntax for ML, GML, MML and GMML (Section 4.1).
+"""Formula syntax for ML, GML, MML and GMML (Section 4.1) -- hash-consed.
 
-Formulas are immutable trees built from propositions, Boolean connectives and
-(possibly graded, possibly indexed) diamonds.  The same AST serves all four
-logics; :func:`logic_of` reports the smallest logic a given formula lives in,
-and :func:`modal_depth` computes the nesting depth of modalities, which by
-Theorem 2 corresponds to the running time of the matching local algorithm.
+Formulas are immutable values built from propositions, Boolean connectives
+and (possibly graded, possibly indexed) diamonds.  The same AST serves all
+four logics; :func:`logic_of` reports the smallest logic a given formula
+lives in, and :func:`modal_depth` computes the nesting depth of modalities,
+which by Theorem 2 corresponds to the running time of the matching local
+algorithm.
+
+Every constructor is *interned* into a process-wide :class:`FormulaPool`:
+structurally equal formulas are one object, so a formula is a rooted node of
+a shared DAG rather than a tree.  Construction assigns dense integer
+``node_id``\\s in children-before-parents order (arguments are built before
+the enclosing formula), which gives every consumer a topological order for
+free: the compiled model checker evaluates a formula in one ascending pass
+over ids, and the Theorem 2 construction of Tables 4-5 -- whose
+``phi_{z,t}`` / ``theta_{m,j,t}`` subterms repeat combinatorially -- costs
+one pool node per *distinct* subterm instead of one tree node per
+occurrence.  :func:`dag_size` (distinct reachable nodes), :func:`tree_size`
+(fully expanded size, an ``O(1)`` pool lookup maintained incrementally) and
+:func:`modal_depth` (also ``O(1)``) quantify the sharing.
 
 The modality index ``alpha`` is an arbitrary hashable value.  The Kripke
 encodings of Section 4.3 use pairs such as ``(2, 1)``, ``(2, '*')``,
-``('*', 1)`` and ``('*', '*')``; plain ML/GML formulas may leave the index as
-``None``, which the model checker resolves to the unique relation of a
+``('*', 1)`` and ``('*', '*')``; plain ML/GML formulas may leave the index
+as ``None``, which the model checker resolves to the unique relation of a
 unimodal model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
 from typing import Any, Hashable, Iterable
+
+# ---------------------------------------------------------------------- #
+# Node kinds (pool-level codes; dense small ints so engines dispatch on them)
+# ---------------------------------------------------------------------- #
+
+KIND_PROP = 0
+KIND_TOP = 1
+KIND_BOTTOM = 2
+KIND_NOT = 3
+KIND_AND = 4
+KIND_OR = 5
+KIND_IMPLIES = 6
+KIND_DIAMOND = 7
+KIND_BOX = 8
+KIND_GRADED = 9
+
+#: Kinds that bind a modality (contribute to the modal depth).
+MODAL_KINDS = frozenset({KIND_DIAMOND, KIND_BOX, KIND_GRADED})
+
+
+class FormulaPool:
+    """The process-wide hash-consing pool behind all formula constructors.
+
+    Per node id (dense ints, assigned in construction = topological order):
+
+    * ``nodes[i]`` -- the unique :class:`Formula` object,
+    * ``kinds[i]`` -- one of the ``KIND_*`` codes,
+    * ``children[i]`` -- the ids of the immediate subformulas,
+    * ``payloads[i]`` -- the non-formula data (``(name,)`` for propositions,
+      ``(index,)`` for diamonds/boxes, ``(grade, index)`` for graded
+      diamonds, ``()`` otherwise),
+    * ``tree_sizes[i]`` / ``modal_depths[i]`` -- incremental DP values
+      (children are registered first, so both are one addition/max at
+      registration; tree sizes are exact big ints even when the expanded
+      tree would have billions of nodes).
+
+    The pool only ever grows: node ids stay valid for the lifetime of the
+    process, which is what lets compiled engines key caches by id.
+    """
+
+    __slots__ = ("_intern", "nodes", "kinds", "children", "payloads",
+                 "tree_sizes", "modal_depths")
+
+    def __init__(self) -> None:
+        self._intern: dict[tuple, "Formula"] = {}
+        self.nodes: list[Formula] = []
+        self.kinds: list[int] = []
+        self.children: list[tuple[int, ...]] = []
+        self.payloads: list[tuple] = []
+        self.tree_sizes: list[int] = []
+        self.modal_depths: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _register(
+        self, cls: type, key: tuple, kind: int, child_ids: tuple[int, ...],
+        payload: tuple, attrs: tuple[tuple[str, Any], ...],
+    ) -> "Formula":
+        """Intern-or-create the node described by ``key``."""
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        formula = object.__new__(cls)
+        for name, value in attrs:
+            object.__setattr__(formula, name, value)
+        node_id = len(self.nodes)
+        object.__setattr__(formula, "node_id", node_id)
+        self._intern[key] = formula
+        self.nodes.append(formula)
+        self.kinds.append(kind)
+        self.children.append(child_ids)
+        self.payloads.append(payload)
+        tree = 1
+        depth = 0
+        for child in child_ids:
+            tree += self.tree_sizes[child]
+            child_depth = self.modal_depths[child]
+            if child_depth > depth:
+                depth = child_depth
+        if kind in MODAL_KINDS:
+            depth += 1
+        self.tree_sizes.append(tree)
+        self.modal_depths.append(depth)
+        return formula
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def reachable_ids(self, root: int) -> list[int]:
+        """The ids reachable from ``root``, ascending (= children first)."""
+        seen = {root}
+        stack = [root]
+        children = self.children
+        while stack:
+            for child in children[stack.pop()]:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return sorted(seen)
+
+    def dag_size(self, root: int) -> int:
+        """The number of distinct subformulas (shared nodes counted once)."""
+        return len(self.reachable_ids(root))
+
+    def stats(self) -> dict[str, int]:
+        """Pool-wide counters (size, interning table size)."""
+        return {"nodes": len(self.nodes), "interned": len(self._intern)}
+
+
+#: The process-wide pool.  One pool per process: node ids are only
+#: meaningful within it, and multiprocessing workers each grow their own.
+_POOL = FormulaPool()
+
+
+def formula_pool() -> FormulaPool:
+    """The process-wide hash-consing pool."""
+    return _POOL
 
 
 class Formula:
-    """Base class of all formulas.  Instances are immutable and hashable."""
+    """Base class of all formulas.
+
+    Instances are immutable, hashable and *interned*: structurally equal
+    formulas constructed anywhere in the process are the same object, so
+    equality is identity and ``node_id`` addresses the unique pool node.
+    """
+
+    __slots__ = ("node_id",)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
 
     def __and__(self, other: "Formula") -> "Formula":
         return And(self, other)
@@ -36,121 +180,206 @@ class Formula:
         return Implies(self, other)
 
 
-@dataclass(frozen=True)
 class Prop(Formula):
     """A proposition symbol ``q``."""
 
-    name: Hashable
+    __slots__ = ("name",)
+
+    def __new__(cls, name: Hashable) -> "Prop":
+        return _POOL._register(  # type: ignore[return-value]
+            cls, (KIND_PROP, (), name), KIND_PROP, (), (name,), (("name", name),)
+        )
+
+    def __repr__(self) -> str:
+        return f"Prop(name={self.name!r})"
 
     def __str__(self) -> str:
         return str(self.name)
 
+    def __reduce__(self):
+        return (Prop, (self.name,))
 
-@dataclass(frozen=True)
+
 class Top(Formula):
     """The constant true."""
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Top":
+        return _POOL._register(cls, (KIND_TOP,), KIND_TOP, (), (), ())  # type: ignore
+
+    def __repr__(self) -> str:
+        return "Top()"
 
     def __str__(self) -> str:
         return "true"
 
+    def __reduce__(self):
+        return (Top, ())
 
-@dataclass(frozen=True)
+
 class Bottom(Formula):
     """The constant false."""
+
+    __slots__ = ()
+
+    def __new__(cls) -> "Bottom":
+        return _POOL._register(cls, (KIND_BOTTOM,), KIND_BOTTOM, (), (), ())  # type: ignore
+
+    def __repr__(self) -> str:
+        return "Bottom()"
 
     def __str__(self) -> str:
         return "false"
 
+    def __reduce__(self):
+        return (Bottom, ())
 
-@dataclass(frozen=True)
+
 class Not(Formula):
     """Negation."""
 
-    operand: Formula
+    __slots__ = ("operand",)
+
+    def __new__(cls, operand: Formula) -> "Not":
+        return _POOL._register(  # type: ignore[return-value]
+            cls, (KIND_NOT, (operand.node_id,)), KIND_NOT, (operand.node_id,),
+            (), (("operand", operand),)
+        )
+
+    def __repr__(self) -> str:
+        return f"Not(operand={self.operand!r})"
 
     def __str__(self) -> str:
-        return f"~{_wrap(self.operand)}"
+        return f"~{self.operand}"
+
+    def __reduce__(self):
+        return (Not, (self.operand,))
 
 
-@dataclass(frozen=True)
-class And(Formula):
+class _Binary(Formula):
+    """Shared machinery of the binary connectives."""
+
+    __slots__ = ("left", "right")
+    _kind: int = -1
+    _symbol: str = "?"
+
+    def __new__(cls, left: Formula, right: Formula) -> "_Binary":
+        return _POOL._register(  # type: ignore[return-value]
+            cls,
+            (cls._kind, (left.node_id, right.node_id)),
+            cls._kind,
+            (left.node_id, right.node_id),
+            (),
+            (("left", left), ("right", right)),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(left={self.left!r}, right={self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+    def __reduce__(self):
+        return (type(self), (self.left, self.right))
+
+
+class And(_Binary):
     """Conjunction."""
 
-    left: Formula
-    right: Formula
-
-    def __str__(self) -> str:
-        return f"({self.left} & {self.right})"
+    __slots__ = ()
+    _kind = KIND_AND
+    _symbol = "&"
 
 
-@dataclass(frozen=True)
-class Or(Formula):
+class Or(_Binary):
     """Disjunction (definable as ``~(~a & ~b)``; kept primitive for readability)."""
 
-    left: Formula
-    right: Formula
-
-    def __str__(self) -> str:
-        return f"({self.left} | {self.right})"
+    __slots__ = ()
+    _kind = KIND_OR
+    _symbol = "|"
 
 
-@dataclass(frozen=True)
-class Implies(Formula):
+class Implies(_Binary):
     """Implication (definable; kept primitive for readability)."""
 
-    left: Formula
-    right: Formula
-
-    def __str__(self) -> str:
-        return f"({self.left} -> {self.right})"
+    __slots__ = ()
+    _kind = KIND_IMPLIES
+    _symbol = "->"
 
 
-@dataclass(frozen=True)
 class Diamond(Formula):
     """``<alpha> phi``: some ``alpha``-successor satisfies ``phi``."""
 
-    operand: Formula
-    index: Hashable = None
+    __slots__ = ("operand", "index")
+
+    def __new__(cls, operand: Formula, index: Hashable = None) -> "Diamond":
+        return _POOL._register(  # type: ignore[return-value]
+            cls, (KIND_DIAMOND, (operand.node_id,), index), KIND_DIAMOND,
+            (operand.node_id,), (index,), (("operand", operand), ("index", index))
+        )
+
+    def __repr__(self) -> str:
+        return f"Diamond(operand={self.operand!r}, index={self.index!r})"
 
     def __str__(self) -> str:
         label = "" if self.index is None else _index_str(self.index)
-        return f"<{label}>{_wrap(self.operand)}"
+        return f"<{label}>{self.operand}"
+
+    def __reduce__(self):
+        return (Diamond, (self.operand, self.index))
 
 
-@dataclass(frozen=True)
 class Box(Formula):
     """``[alpha] phi``: every ``alpha``-successor satisfies ``phi``."""
 
-    operand: Formula
-    index: Hashable = None
+    __slots__ = ("operand", "index")
+
+    def __new__(cls, operand: Formula, index: Hashable = None) -> "Box":
+        return _POOL._register(  # type: ignore[return-value]
+            cls, (KIND_BOX, (operand.node_id,), index), KIND_BOX,
+            (operand.node_id,), (index,), (("operand", operand), ("index", index))
+        )
+
+    def __repr__(self) -> str:
+        return f"Box(operand={self.operand!r}, index={self.index!r})"
 
     def __str__(self) -> str:
         label = "" if self.index is None else _index_str(self.index)
-        return f"[{label}]{_wrap(self.operand)}"
+        return f"[{label}]{self.operand}"
+
+    def __reduce__(self):
+        return (Box, (self.operand, self.index))
 
 
-@dataclass(frozen=True)
 class GradedDiamond(Formula):
     """``<alpha>_{>=k} phi``: at least ``k`` ``alpha``-successors satisfy ``phi``."""
 
-    operand: Formula
-    grade: int
-    index: Hashable = None
+    __slots__ = ("operand", "grade", "index")
 
-    def __post_init__(self) -> None:
-        if self.grade < 0:
+    def __new__(
+        cls, operand: Formula, grade: int, index: Hashable = None
+    ) -> "GradedDiamond":
+        if grade < 0:
             raise ValueError("the grade of a graded diamond must be non-negative")
+        return _POOL._register(  # type: ignore[return-value]
+            cls, (KIND_GRADED, (operand.node_id,), grade, index), KIND_GRADED,
+            (operand.node_id,), (grade, index),
+            (("operand", operand), ("grade", grade), ("index", index))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GradedDiamond(operand={self.operand!r}, grade={self.grade!r}, "
+            f"index={self.index!r})"
+        )
 
     def __str__(self) -> str:
         label = "" if self.index is None else _index_str(self.index)
-        return f"<{label}>>={self.grade} {_wrap(self.operand)}"
+        return f"<{label}>>={self.grade} {self.operand}"
 
-
-def _wrap(formula: Formula) -> str:
-    text = str(formula)
-    if isinstance(formula, (Prop, Top, Bottom, Not, Diamond, Box, GradedDiamond)):
-        return text
-    return text
+    def __reduce__(self):
+        return (GradedDiamond, (self.operand, self.grade, self.index))
 
 
 def _index_str(index: Any) -> str:
@@ -181,64 +410,82 @@ def disjunction(formulas: Iterable[Formula]) -> Formula:
 
 
 # ---------------------------------------------------------------------- #
-# Structural queries
+# Structural queries (pool-backed: O(dag) or O(1), never O(tree))
 # ---------------------------------------------------------------------- #
+
+
+def _require_formula(formula: Formula) -> int:
+    if not isinstance(formula, Formula):
+        raise TypeError(f"unknown formula type: {formula!r}")
+    return formula.node_id
 
 
 def children(formula: Formula) -> tuple[Formula, ...]:
     """The immediate subformulas."""
-    if isinstance(formula, (Prop, Top, Bottom)):
-        return ()
-    if isinstance(formula, (Not, Diamond, Box, GradedDiamond)):
-        return (formula.operand,)
-    if isinstance(formula, (And, Or, Implies)):
-        return (formula.left, formula.right)
-    raise TypeError(f"unknown formula type: {formula!r}")
+    node_id = _require_formula(formula)
+    nodes = _POOL.nodes
+    return tuple(nodes[child] for child in _POOL.children[node_id])
 
 
 def subformulas(formula: Formula) -> frozenset[Formula]:
-    """All subformulas of ``formula``, including itself."""
-    result: set[Formula] = set()
-    stack = [formula]
-    while stack:
-        current = stack.pop()
-        if current in result:
-            continue
-        result.add(current)
-        stack.extend(children(current))
-    return frozenset(result)
+    """All *distinct* subformulas of ``formula``, including itself."""
+    node_id = _require_formula(formula)
+    nodes = _POOL.nodes
+    return frozenset(nodes[i] for i in _POOL.reachable_ids(node_id))
+
+
+def topological_ids(formula: Formula) -> list[int]:
+    """Pool ids of all subformulas, children strictly before parents.
+
+    This is the evaluation order of the compiled engines: one ascending
+    pass resolves every node after its children.
+    """
+    return _POOL.reachable_ids(_require_formula(formula))
+
+
+def dag_size(formula: Formula) -> int:
+    """The number of distinct subformulas -- the size of the shared DAG."""
+    return _POOL.dag_size(_require_formula(formula))
+
+
+def tree_size(formula: Formula) -> int:
+    """The size of the fully expanded formula tree (an O(1) pool lookup).
+
+    For the Table 4/5 formulas this can exceed any feasible memory while
+    :func:`dag_size` stays small; the exact big-int value is maintained
+    incrementally at construction.
+    """
+    return _POOL.tree_sizes[_require_formula(formula)]
 
 
 def modal_depth(formula: Formula) -> int:
-    """The modal depth ``md(phi)`` of Section 4.1."""
-    if isinstance(formula, (Prop, Top, Bottom)):
-        return 0
-    if isinstance(formula, Not):
-        return modal_depth(formula.operand)
-    if isinstance(formula, (And, Or, Implies)):
-        return max(modal_depth(formula.left), modal_depth(formula.right))
-    if isinstance(formula, (Diamond, Box, GradedDiamond)):
-        return modal_depth(formula.operand) + 1
-    raise TypeError(f"unknown formula type: {formula!r}")
+    """The modal depth ``md(phi)`` of Section 4.1 (an O(1) pool lookup)."""
+    return _POOL.modal_depths[_require_formula(formula)]
 
 
 def propositions(formula: Formula) -> frozenset[Hashable]:
     """The proposition symbols occurring in ``formula``."""
-    return frozenset(sub.name for sub in subformulas(formula) if isinstance(sub, Prop))
+    node_id = _require_formula(formula)
+    kinds, payloads = _POOL.kinds, _POOL.payloads
+    return frozenset(
+        payloads[i][0] for i in _POOL.reachable_ids(node_id) if kinds[i] == KIND_PROP
+    )
 
 
 def modal_indices(formula: Formula) -> frozenset[Hashable]:
     """The modality indices occurring in ``formula`` (``None`` for plain diamonds)."""
+    node_id = _require_formula(formula)
+    kinds, payloads = _POOL.kinds, _POOL.payloads
     return frozenset(
-        sub.index
-        for sub in subformulas(formula)
-        if isinstance(sub, (Diamond, Box, GradedDiamond))
+        payloads[i][-1] for i in _POOL.reachable_ids(node_id) if kinds[i] in MODAL_KINDS
     )
 
 
 def is_graded(formula: Formula) -> bool:
     """Whether ``formula`` uses a graded diamond."""
-    return any(isinstance(sub, GradedDiamond) for sub in subformulas(formula))
+    node_id = _require_formula(formula)
+    kinds = _POOL.kinds
+    return any(kinds[i] == KIND_GRADED for i in _POOL.reachable_ids(node_id))
 
 
 def logic_of(formula: Formula) -> str:

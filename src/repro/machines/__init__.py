@@ -11,6 +11,9 @@
   ``(Y, Z, z0, M, m0, mu, delta)`` and adapters to/from :class:`Algorithm`.
 * :mod:`~repro.machines.inspection` -- empirical membership checks for the
   algorithm classes.
+* :mod:`~repro.machines.library` -- delta-parametric reference and random
+  machines of every class, the workloads of the Theorem 2 correspondence
+  pipeline.
 """
 
 from repro.machines.models import (
@@ -38,6 +41,7 @@ from repro.machines.state_machine import (
 )
 from repro.machines.adapters import ModelUpcast, as_model
 from repro.machines.fastpath import FastPathAlgorithm, fast_path
+from repro.machines.library import class_view, random_machine, reference_machine
 from repro.machines.inspection import (
     is_broadcast_machine,
     respects_multiset_semantics,
@@ -69,4 +73,7 @@ __all__ = [
     "is_broadcast_machine",
     "respects_multiset_semantics",
     "respects_set_semantics",
+    "class_view",
+    "random_machine",
+    "reference_machine",
 ]

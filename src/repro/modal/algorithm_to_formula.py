@@ -14,32 +14,76 @@ state at time ``t`` is ``z``"), ``theta_{m,j,t}`` ("the node sends ``m`` to
 port ``j`` in round ``t``") and diamond formulas describing the received
 messages are built by recursion on ``t``.  The received-message descriptions
 are enumerated explicitly (vectors, multisets or sets of messages, depending
-on the class), so the size of the output formula grows quickly with ``Delta``,
-``|M|`` and ``T`` -- exactly as in the paper, where the construction is
-syntactic rather than efficient.  Intended for small machines.
+on the class), so the *tree* size of the output formula grows quickly with
+``Delta``, ``|M|`` and ``T`` -- exactly as in the paper, where the
+construction is syntactic.  The emitted formula, however, is a node of the
+hash-consed pool (:mod:`repro.logic.syntax`): the ``phi``/``theta`` subterms
+that every spec repeats are memoised (``theta`` by ``(message, port, time)``
+on top of the pool's structural dedup), so the construction materialises one
+DAG node per *distinct* subterm.  Machines whose Table 4/5 tree has millions
+of nodes compile to DAGs orders of magnitude smaller and evaluate on the
+compiled bitset checker without ever expanding the tree.
+
+Infeasible coordinates fail fast instead of hanging:
+:func:`predict_formula_nodes` computes (exactly, with big ints) the number
+of received-message specs the construction would enumerate and an upper
+estimate of the pool nodes it would allocate; :func:`formula_for_machine`
+raises :class:`FormulaSizeError` carrying that prediction when it exceeds
+the ``max_formula_nodes`` budget, and a live pool-growth guard backstops the
+estimate during construction.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from collections.abc import Iterator, Sequence
 from typing import Any
 
 from repro.logic.syntax import (
     And,
-    Bottom,
     Diamond,
     Formula,
     GradedDiamond,
     Not,
     Prop,
-    Top,
     conjunction,
     disjunction,
+    formula_pool,
 )
 from repro.machines.models import ProblemClass, ReceiveMode, SendMode
 from repro.machines.state_machine import FiniteStateMachine
 from repro.modal.encoding import STAR, degree_proposition
+
+#: Default budget on the pool nodes one compilation may allocate.  Roughly
+#: bounds both construction time and memory (a pool node costs a few hundred
+#: bytes); raise it explicitly for heroic instances.
+DEFAULT_MAX_FORMULA_NODES = 500_000
+
+
+class FormulaSizeError(ValueError):
+    """The Table 4/5 construction would exceed its node budget.
+
+    Attributes
+    ----------
+    predicted_nodes:
+        Upper estimate of the pool nodes the construction would allocate
+        (exact spec enumeration, per-spec node cost over-approximated).
+    specs:
+        The exact number of received-message specs that would be enumerated.
+    budget:
+        The ``max_formula_nodes`` value that was exceeded.
+    """
+
+    def __init__(self, predicted_nodes: int, specs: int, budget: int, detail: str) -> None:
+        super().__init__(
+            f"the Theorem 2 construction would allocate ~{predicted_nodes} formula "
+            f"nodes over {specs} received-message specs, exceeding the budget of "
+            f"{budget} ({detail}); raise max_formula_nodes (or pass None) to force it"
+        )
+        self.predicted_nodes = predicted_nodes
+        self.specs = specs
+        self.budget = budget
 
 
 def _degree_formula(degree: int, delta: int) -> Formula:
@@ -101,6 +145,62 @@ def _pad(real: list[Any], degree: int, delta: int, no_message: Any) -> tuple[Any
 
 
 # ---------------------------------------------------------------------- #
+# Size prediction
+# ---------------------------------------------------------------------- #
+
+
+def _spec_count(model: Any, m: int, delta: int, degree: int) -> int:
+    """Exactly how many received-message specs one ``(state, degree)`` pair has."""
+    receive, send = model.receive, model.send
+    if receive is ReceiveMode.VECTOR and send is SendMode.PORT:
+        return (m * delta) ** degree
+    if receive is ReceiveMode.VECTOR and send is SendMode.BROADCAST:
+        return m**degree
+    if receive is ReceiveMode.MULTISET and send is SendMode.PORT:
+        return math.comb(m * delta + degree - 1, degree)
+    if receive is ReceiveMode.MULTISET and send is SendMode.BROADCAST:
+        return math.comb(m + degree - 1, degree)
+    cells = m * delta if send is SendMode.PORT else m
+    if degree == 0:
+        return 1
+    return sum(math.comb(cells, size) for size in range(1, degree + 1))
+
+
+def predict_formula_nodes(
+    machine: FiniteStateMachine, problem_class: ProblemClass, running_time: int
+) -> tuple[int, int]:
+    """``(predicted_nodes, specs)`` for the Table 4/5 construction.
+
+    ``specs`` is the exact number of received-message specs the construction
+    enumerates (the quantity that explodes in ``Delta``, ``|M|`` and ``T``);
+    ``predicted_nodes`` multiplies it by an upper estimate of the pool nodes
+    allocated per spec, plus the memoised ``theta`` table.  Both are plain
+    big-int arithmetic -- cheap even when the answer has dozens of digits.
+    """
+    delta = machine.delta_bound
+    model = problem_class.model
+    m = len(machine.messages | {machine.no_message})
+    states = len(machine.intermediate_states) + len(machine.stopping_states)
+    intermediate = len(machine.intermediate_states)
+    specs_per_degree = [_spec_count(model, m, delta, d) for d in range(delta + 1)]
+    specs = running_time * intermediate * sum(specs_per_degree)
+    if model.receive is ReceiveMode.SET:
+        cells = m * delta if model.send is SendMode.PORT else m
+        per_spec = [3 * cells + 4] * (delta + 1)
+    else:
+        per_spec = [2 * d + 4 for d in range(delta + 1)]
+    nodes = running_time * intermediate * sum(
+        count * cost for count, cost in zip(specs_per_degree, per_spec)
+    )
+    # theta_{m,j,t}: a disjunction over states, memoised per (message, port, time).
+    ports = delta if model.send is SendMode.PORT else 1
+    nodes += m * ports * max(running_time, 1) * (states + 1)
+    # Degree formulas, initial phi layer, final disjunction.
+    nodes += (delta + 2) * (states + delta + 2)
+    return nodes, specs
+
+
+# ---------------------------------------------------------------------- #
 # The main construction
 # ---------------------------------------------------------------------- #
 
@@ -110,6 +210,7 @@ def formula_for_machine(
     problem_class: ProblemClass,
     running_time: int,
     accepting_output: Any = 1,
+    max_formula_nodes: int | None = DEFAULT_MAX_FORMULA_NODES,
 ) -> Formula:
     """The formula ``psi`` capturing the algorithm's output-1 set (Theorem 2).
 
@@ -127,9 +228,25 @@ def formula_for_machine(
         input; the resulting formula has modal depth ``T``.
     accepting_output:
         The local output whose indicator the formula defines (default 1).
+    max_formula_nodes:
+        Budget on the pool nodes the construction may allocate.  Infeasible
+        ``(Delta, |M|, T)`` coordinates raise :class:`FormulaSizeError`
+        (with the exact spec count and the predicted node count) *before*
+        enumerating anything; a live pool-growth guard backstops the
+        prediction during construction.  ``None`` disables both checks.
     """
     if running_time < 0:
         raise ValueError("running_time must be non-negative")
+    if max_formula_nodes is not None:
+        predicted, spec_total = predict_formula_nodes(machine, problem_class, running_time)
+        if predicted > max_formula_nodes:
+            raise FormulaSizeError(
+                predicted, spec_total, max_formula_nodes,
+                f"Delta={machine.delta_bound}, |M|={len(machine.messages)}, "
+                f"T={running_time}, class={problem_class}",
+            )
+    pool = formula_pool()
+    pool_start = len(pool)
     delta = machine.delta_bound
     model = problem_class.model
     messages = _sorted_messages(machine)
@@ -154,13 +271,24 @@ def formula_for_machine(
             return machine.no_message
         return machine.message_table(state, port)
 
+    theta_cache: dict[tuple[Any, int, int], Formula] = {}
+
     def theta(message: Any, port: int, time: int) -> Formula:
-        """``theta_{m,j,t}``: the node sends ``message`` to ``port`` in round ``time``."""
-        return disjunction(
-            phi[(state, time - 1)]
-            for state in all_states
-            if outgoing_message(state, port) == message
-        )
+        """``theta_{m,j,t}``: the node sends ``message`` to ``port`` in round ``time``.
+
+        Memoised per ``(message, port, time)``: every spec of a round refers
+        to the same theta family, so each member is built once and every
+        later reference is a pooled-node reuse.
+        """
+        key = (message, port, time)
+        result = theta_cache.get(key)
+        if result is None:
+            result = theta_cache[key] = disjunction(
+                phi[(state, time - 1)]
+                for state in all_states
+                if outgoing_message(state, port) == message
+            )
+        return result
 
     def next_state(state: Any, padded: tuple[Any, ...]) -> Any:
         if state in machine.stopping_states:
@@ -276,6 +404,15 @@ def formula_for_machine(
                     accumulator[successor].append(
                         And(And(degree_guard, phi[(state, time - 1)]), condition)
                     )
+                if max_formula_nodes is not None:
+                    grown = len(pool) - pool_start
+                    if grown > max_formula_nodes:
+                        # Backstop for a prediction that underestimated.
+                        raise FormulaSizeError(
+                            grown, 0, max_formula_nodes,
+                            f"live pool growth at t={time}, state={state!r}, "
+                            f"degree={degree}",
+                        )
         for state in all_states:
             phi[(state, time)] = disjunction(accumulator[state])
 

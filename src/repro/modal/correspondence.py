@@ -11,21 +11,39 @@ through :func:`repro.execution.engine.run_iter` (lazy, so a disagreement
 stops the sweep early) and the formula side is evaluated by the compiled
 bitset model checker (:mod:`repro.logic.engine`), one compiled encoding per
 port numbering.
+
+:func:`machine_roundtrip_report` is the full Theorem 2 pipeline in one call:
+a finite-state machine is compiled to its Table 4/5 formula (a hash-consed
+DAG), the formula is compiled back to a
+:class:`~repro.modal.formula_to_algorithm.CompiledFormulaAlgorithm`, and
+machine outputs, formula extensions and recompiled-algorithm outputs are
+cross-checked over every adversarial port numbering of the given graphs --
+optionally against the seed formula-algorithm as a differential oracle.
+The campaign subsystem's ``correspondence`` scenario kind and experiment E4
+both run on it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.execution.adversary import port_numberings_to_check
 from repro.execution.engine import DEFAULT_MAX_ROUNDS, run_iter
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
 from repro.logic.engine import check_many
-from repro.logic.syntax import Formula
+from repro.logic.syntax import Formula, dag_size, modal_depth, tree_size
 from repro.machines.algorithm import Algorithm
 from repro.machines.models import ProblemClass
+from repro.machines.state_machine import FiniteStateMachine, algorithm_from_machine
+from repro.modal.algorithm_to_formula import (
+    DEFAULT_MAX_FORMULA_NODES,
+    formula_for_machine,
+)
 from repro.modal.encoding import kripke_encoding, variant_for_class
+from repro.modal.formula_to_algorithm import algorithm_for_formula
 
 
 def formula_output(
@@ -34,12 +52,13 @@ def formula_output(
     formula: Formula,
     problem_class: ProblemClass,
     delta: int | None = None,
+    engine: str = "compiled",
 ) -> dict[Node, int]:
     """The 0/1 labelling ``||formula||`` in the class's encoding of ``(G, p)``."""
     model = kripke_encoding(
         graph, numbering, variant=variant_for_class(problem_class), delta=delta
     )
-    truth = check_many(model, [formula])[0]
+    truth = check_many(model, [formula], engine=engine)[0]
     return {node: 1 if node in truth else 0 for node in graph.nodes}
 
 
@@ -144,8 +163,200 @@ def disagreement_witness(
     )
 
 
+# --------------------------------------------------------------------------- #
+# The Theorem 2 round-trip pipeline
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class RoundTripReport:
+    """Outcome of one machine -> formula -> algorithm round trip.
+
+    ``formula_agrees`` compares the machine's outputs against the formula's
+    extension in the class's Kripke encoding (Theorem 2, parts 3-4);
+    ``algorithms_agree`` compares the recompiled formula-algorithm's outputs
+    against the same extension (parts 1-2) -- and, when the differential
+    oracle ran, against the seed formula-algorithm's outputs.  ``dag_size``
+    vs ``tree_size`` quantifies the hash-consing win on the emitted formula.
+    """
+
+    problem_class: ProblemClass
+    running_time: int
+    modal_depth: int
+    dag_size: int
+    tree_size: int
+    instances: int
+    formula_agrees: bool = True
+    algorithms_agree: bool = True
+    oracle_checked: bool = False
+    first_disagreement: dict[str, Any] | None = field(default=None, repr=False)
+
+    @property
+    def agree(self) -> bool:
+        return self.formula_agrees and self.algorithms_agree
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "problem_class": str(self.problem_class),
+            "running_time": self.running_time,
+            "modal_depth": self.modal_depth,
+            "dag_size": self.dag_size,
+            "tree_size": self.tree_size,
+            "instances": self.instances,
+            "formula_agrees": self.formula_agrees,
+            "algorithms_agree": self.algorithms_agree,
+            "oracle_checked": self.oracle_checked,
+            "agree": self.agree,
+        }
+
+
+def _zero_one(
+    outputs: dict[Node, Any], nodes: Iterable[Node], accepting: Any = 1
+) -> dict[Node, int]:
+    return {node: 1 if outputs.get(node) == accepting else 0 for node in nodes}
+
+
+def machine_roundtrip_report(
+    machine: FiniteStateMachine,
+    problem_class: ProblemClass,
+    running_time: int,
+    graphs: Iterable[Graph] | None = None,
+    pairs: Sequence[tuple[Graph, PortNumbering]] | None = None,
+    engine: str = "compiled",
+    cross_check: bool = True,
+    exhaustive_limit: int = 500,
+    samples: int = 20,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    max_formula_nodes: int | None = DEFAULT_MAX_FORMULA_NODES,
+    accepting_output: Any = 1,
+    formula: Formula | None = None,
+) -> RoundTripReport:
+    """Run the full Theorem 2 round trip for one machine and report.
+
+    Either ``graphs`` (each swept over its adversarial port numberings,
+    consistent-only where the class requires it) or explicit
+    ``(graph, numbering)`` ``pairs`` select the instances.  All three
+    fronts stream through the batch engines: one ``run_iter`` batch per
+    algorithm per graph, one compiled Kripke encoding per numbering for the
+    formula side.  ``engine`` selects the formula-algorithm and model-checker
+    backends; with ``cross_check=True`` and ``engine="compiled"`` the seed
+    formula-algorithm additionally runs as a differential oracle.  Callers
+    evaluating one machine over many instance batches may pass a
+    pre-compiled ``formula`` (the campaign executor does) to skip the
+    Table 4/5 enumeration.
+    """
+    if formula is None:
+        formula = formula_for_machine(
+            machine,
+            problem_class,
+            running_time,
+            accepting_output=accepting_output,
+            max_formula_nodes=max_formula_nodes,
+        )
+    report = RoundTripReport(
+        problem_class=problem_class,
+        running_time=running_time,
+        modal_depth=modal_depth(formula),
+        dag_size=dag_size(formula),
+        tree_size=tree_size(formula),
+        instances=0,
+    )
+    if graphs is None and pairs is None:
+        raise ValueError(
+            "machine_roundtrip_report needs 'graphs' (adversarial sweep) or "
+            "explicit (graph, numbering) 'pairs'; an empty round trip would "
+            "report agreement vacuously"
+        )
+    original = algorithm_from_machine(machine.as_state_machine())
+    realized = algorithm_for_formula(formula, problem_class, engine=engine)
+    oracle = (
+        algorithm_for_formula(formula, problem_class, engine="reference")
+        if cross_check and engine == "compiled"
+        else None
+    )
+
+    if pairs is not None:
+        batches: list[tuple[Graph, list[PortNumbering]]] = []
+        by_graph: dict[int, int] = {}
+        for graph, numbering in pairs:
+            slot = by_graph.get(id(graph))
+            if slot is None:
+                by_graph[id(graph)] = len(batches)
+                batches.append((graph, [numbering]))
+            else:
+                batches[slot][1].append(numbering)
+    else:
+        batches = [
+            (
+                graph,
+                list(
+                    port_numberings_to_check(
+                        graph,
+                        consistent_only=problem_class.requires_consistency,
+                        exhaustive_limit=exhaustive_limit,
+                        samples=samples,
+                    )
+                ),
+            )
+            for graph in graphs or ()
+        ]
+
+    for graph, numberings in batches:
+        instances = [(graph, numbering) for numbering in numberings]
+        streams = [
+            run_iter(
+                original, instances, max_rounds=max_rounds,
+                engine=engine, memoize_transitions=True,
+            ),
+            run_iter(
+                realized, instances, max_rounds=max_rounds,
+                engine=engine, memoize_transitions=True,
+            ),
+        ]
+        if oracle is not None:
+            streams.append(
+                run_iter(
+                    oracle, instances, max_rounds=max_rounds,
+                    engine="reference", memoize_transitions=True,
+                )
+            )
+        for numbering, results in zip(numberings, zip(*streams)):
+            report.instances += 1
+            expected = formula_output(
+                graph, numbering, formula, problem_class, engine=engine
+            )
+            # The formula is the indicator of ``accepting_output``; the
+            # realized algorithms genuinely output 0/1.
+            machine_out = _zero_one(results[0].outputs, graph.nodes, accepting_output)
+            realized_out = _zero_one(results[1].outputs, graph.nodes)
+            agrees = True
+            if machine_out != expected:
+                report.formula_agrees = False
+                agrees = False
+            if realized_out != expected:
+                report.algorithms_agree = False
+                agrees = False
+            if oracle is not None:
+                report.oracle_checked = True
+                oracle_out = _zero_one(results[2].outputs, graph.nodes)
+                if oracle_out != realized_out:
+                    report.algorithms_agree = False
+                    agrees = False
+            if not agrees and report.first_disagreement is None:
+                report.first_disagreement = {
+                    "graph": graph,
+                    "numbering": numbering,
+                    "formula": expected,
+                    "machine": machine_out,
+                    "realized": realized_out,
+                }
+    return report
+
+
 __all__ = [
+    "RoundTripReport",
     "algorithm_matches_formula",
     "disagreement_witness",
     "formula_output",
+    "machine_roundtrip_report",
 ]

@@ -7,31 +7,58 @@ corresponding Kripke encoding.  The algorithm follows the paper's
 construction: every node maintains a three-valued assignment (true / false /
 undefined) to the subformulas of ``psi``, resolves subformulas of modal depth
 ``t`` in round ``t``, exchanges the truth values needed by its neighbours'
-modal subformulas, and halts once the value of ``psi`` itself is known -- so
-the running time is at most ``md(psi) + 1`` rounds and the algorithm is local.
+modal subformulas, and halts once every value is known -- so the running
+time is at most ``md(psi) + 1`` rounds and the algorithm is local.
+
+Two implementations share that construction:
+
+* :class:`CompiledFormulaAlgorithm` (the default) compiles the normalised
+  formula DAG once into flat position tables over the hash-consed pool
+  (:mod:`repro.logic.syntax`): the three-valued assignment is packed into a
+  single int (one value bit and one known bit per distinct subformula), the
+  Boolean closure is one ascending pass over positions (children come
+  before parents, so no fixpoint loop), and messages are small packed ints.
+  States and messages are tiny hashable values, so the batch execution
+  engine's :class:`~repro.machines.fastpath.FastPathAlgorithm` caches hit
+  across a whole adversarial sweep, and formulas with thousands of shared
+  subterms (the Table 4/5 output) run without recursion limits.
+* :class:`FormulaAlgorithm` is the seed construction -- dict-of-subformula
+  states, an iterate-to-fixpoint Boolean pass -- preserved as the
+  differential oracle behind ``engine="reference"``.
+
+:func:`algorithm_for_formula` selects between them with the same
+``engine="compiled" | "reference"`` knob the execution and logic layers use.
 """
 
 from __future__ import annotations
 
 from typing import Any, ClassVar
 
+from repro.logic.engine import check_engine
 from repro.logic.syntax import (
+    KIND_AND,
+    KIND_BOTTOM,
+    KIND_DIAMOND,
+    KIND_GRADED,
+    KIND_IMPLIES,
+    KIND_NOT,
+    KIND_OR,
+    KIND_PROP,
+    KIND_TOP,
     And,
     Bottom,
-    Box,
     Diamond,
     Formula,
     GradedDiamond,
-    Implies,
     Not,
     Or,
     Prop,
     Top,
+    formula_pool,
     modal_depth,
 )
 from repro.machines.algorithm import NO_MESSAGE, Algorithm, Output
 from repro.machines.models import Model, ProblemClass, ReceiveMode, SendMode
-from repro.machines.multiset import FrozenMultiset
 from repro.modal.encoding import STAR, degree_proposition
 
 #: The three-valued "undefined" marker of the paper's construction.
@@ -39,50 +66,92 @@ UNDEFINED = "U"
 
 
 def _normalise(formula: Formula) -> Formula:
-    """Rewrite boxes and implications into the And/Or/Not/Diamond core."""
-    if isinstance(formula, (Prop, Top, Bottom)):
-        return formula
-    if isinstance(formula, Not):
-        return Not(_normalise(formula.operand))
-    if isinstance(formula, And):
-        return And(_normalise(formula.left), _normalise(formula.right))
-    if isinstance(formula, Or):
-        return Or(_normalise(formula.left), _normalise(formula.right))
-    if isinstance(formula, Implies):
-        return Or(Not(_normalise(formula.left)), _normalise(formula.right))
-    if isinstance(formula, Diamond):
-        return Diamond(_normalise(formula.operand), index=formula.index)
-    if isinstance(formula, GradedDiamond):
-        return GradedDiamond(_normalise(formula.operand), grade=formula.grade, index=formula.index)
-    if isinstance(formula, Box):
-        return Not(Diamond(Not(_normalise(formula.operand)), index=formula.index))
-    raise TypeError(f"unknown formula type: {formula!r}")
+    """Rewrite boxes and implications into the And/Or/Not/Diamond core.
+
+    Operates bottom-up over the pool ids of the formula's DAG (children
+    before parents), so arbitrarily deep formulas -- the Table 4/5
+    conjunction chains run to thousands of levels -- normalise without
+    recursion, and shared subterms are rewritten once.
+    """
+    pool = formula_pool()
+    ids = pool.reachable_ids(formula.node_id)
+    kinds, kids_of, payloads, nodes = pool.kinds, pool.children, pool.payloads, pool.nodes
+    rewritten: dict[int, Formula] = {}
+    for i in ids:
+        kind = kinds[i]
+        kids = kids_of[i]
+        if kind in (KIND_PROP, KIND_TOP, KIND_BOTTOM):
+            rewritten[i] = nodes[i]
+        elif kind == KIND_NOT:
+            rewritten[i] = Not(rewritten[kids[0]])
+        elif kind == KIND_AND:
+            rewritten[i] = And(rewritten[kids[0]], rewritten[kids[1]])
+        elif kind == KIND_OR:
+            rewritten[i] = Or(rewritten[kids[0]], rewritten[kids[1]])
+        elif kind == KIND_IMPLIES:
+            rewritten[i] = Or(Not(rewritten[kids[0]]), rewritten[kids[1]])
+        elif kind == KIND_DIAMOND:
+            rewritten[i] = Diamond(rewritten[kids[0]], index=payloads[i][0])
+        elif kind == KIND_GRADED:
+            grade, index = payloads[i]
+            rewritten[i] = GradedDiamond(rewritten[kids[0]], grade=grade, index=index)
+        else:  # KIND_BOX
+            rewritten[i] = Not(Diamond(Not(rewritten[kids[0]]), index=payloads[i][0]))
+    return rewritten[formula.node_id]
 
 
 def _ordered_subformulas(formula: Formula) -> list[Formula]:
-    """All subformulas, children before parents (deterministic order)."""
-    ordered: list[Formula] = []
-    seen: set[Formula] = set()
+    """All distinct subformulas, children before parents (pool id order)."""
+    pool = formula_pool()
+    nodes = pool.nodes
+    return [nodes[i] for i in pool.reachable_ids(formula.node_id)]
 
-    def visit(phi: Formula) -> None:
-        if phi in seen:
-            return
-        if isinstance(phi, Not):
-            visit(phi.operand)
-        elif isinstance(phi, (And, Or)):
-            visit(phi.left)
-            visit(phi.right)
-        elif isinstance(phi, (Diamond, GradedDiamond)):
-            visit(phi.operand)
-        seen.add(phi)
-        ordered.append(phi)
 
-    visit(formula)
-    return ordered
+def _validate_modal_indices(
+    modal: list[Formula], problem_class: ProblemClass
+) -> None:
+    """Reject modality indices (and grades) the class cannot realise."""
+    sees_in = problem_class.model.receive is ReceiveMode.VECTOR
+    sees_out = problem_class.model.send is SendMode.PORT
+    for phi in modal:
+        index = phi.index
+        if index is None:
+            index = (STAR, STAR)
+        if not (isinstance(index, tuple) and len(index) == 2):
+            raise ValueError(f"modality index {phi.index!r} must be a pair (i, j)")
+        in_part, out_part = index
+        if sees_in and in_part == STAR and problem_class not in (
+            ProblemClass.MV,
+            ProblemClass.SV,
+        ):
+            raise ValueError(
+                f"class {problem_class} formulas must name the input port, got {phi.index!r}"
+            )
+        if not sees_in and in_part != STAR:
+            raise ValueError(
+                f"class {problem_class} has no input-port information, got index {phi.index!r}"
+            )
+        if not sees_out and out_part != STAR:
+            raise ValueError(
+                f"class {problem_class} has no output-port information, got index {phi.index!r}"
+            )
+        if sees_out and out_part == STAR:
+            raise ValueError(
+                f"class {problem_class} formulas must name the output port, got {phi.index!r}"
+            )
+        if (
+            isinstance(phi, GradedDiamond)
+            and phi.grade > 1
+            and problem_class in (ProblemClass.SV, ProblemClass.SB)
+        ):
+            raise ValueError(
+                f"class {problem_class} algorithms cannot count; "
+                f"graded diamond {phi} is not allowed"
+            )
 
 
 class FormulaAlgorithm(Algorithm):
-    """The local algorithm realising a modal formula in a given problem class.
+    """The seed local algorithm realising a modal formula (reference oracle).
 
     Parameters
     ----------
@@ -117,7 +186,7 @@ class FormulaAlgorithm(Algorithm):
                 operand_positions.append(position)
         self._payload_positions = tuple(operand_positions)
         self._payload_slot = {position: slot for slot, position in enumerate(self._payload_positions)}
-        self._validate_indices()
+        _validate_modal_indices(self._modal, self._class)
 
     # ------------------------------------------------------------------ #
     # Public metadata
@@ -139,48 +208,6 @@ class FormulaAlgorithm(Algorithm):
     def running_time_bound(self) -> int:
         """The guaranteed bound ``md(psi) + 1`` on the number of rounds."""
         return modal_depth(self._formula) + 1
-
-    # ------------------------------------------------------------------ #
-    # Validation
-    # ------------------------------------------------------------------ #
-
-    def _validate_indices(self) -> None:
-        sees_in = self._class.model.receive is ReceiveMode.VECTOR
-        sees_out = self._class.model.send is SendMode.PORT
-        for phi in self._modal:
-            index = phi.index
-            if index is None:
-                index = (STAR, STAR)
-            if not (isinstance(index, tuple) and len(index) == 2):
-                raise ValueError(f"modality index {phi.index!r} must be a pair (i, j)")
-            in_part, out_part = index
-            if sees_in and in_part == STAR and self._class not in (
-                ProblemClass.MV,
-                ProblemClass.SV,
-            ):
-                raise ValueError(
-                    f"class {self._class} formulas must name the input port, got {phi.index!r}"
-                )
-            if not sees_in and in_part != STAR:
-                raise ValueError(
-                    f"class {self._class} has no input-port information, got index {phi.index!r}"
-                )
-            if not sees_out and out_part != STAR:
-                raise ValueError(
-                    f"class {self._class} has no output-port information, got index {phi.index!r}"
-                )
-            if sees_out and out_part == STAR:
-                raise ValueError(
-                    f"class {self._class} formulas must name the output port, got {phi.index!r}"
-                )
-            if (
-                isinstance(phi, GradedDiamond)
-                and phi.grade > 1
-                and self._class in (ProblemClass.SV, ProblemClass.SB)
-            ):
-                raise ValueError(
-                    f"class {self._class} algorithms cannot count; graded diamond {phi} is not allowed"
-                )
 
     # ------------------------------------------------------------------ #
     # Three-valued evaluation helpers
@@ -338,6 +365,288 @@ class FormulaAlgorithm(Algorithm):
         return self._state(degree, values)
 
 
-def algorithm_for_formula(formula: Formula, problem_class: ProblemClass) -> FormulaAlgorithm:
-    """Convenience constructor for :class:`FormulaAlgorithm`."""
-    return FormulaAlgorithm(formula, problem_class)
+# --------------------------------------------------------------------------- #
+# The compiled construction
+# --------------------------------------------------------------------------- #
+
+
+class CompiledFormulaAlgorithm(Algorithm):
+    """The formula algorithm compiled to flat tables and packed-int states.
+
+    The normalised formula's distinct subformulas (pool DAG nodes) get dense
+    positions ``0 .. P-1`` in topological order.  A node's state is
+    ``(degree, packed)`` where bit ``p`` of ``packed`` is the truth value of
+    position ``p`` and bit ``P + p`` records whether it is known -- the
+    paper's three-valued assignment as one int.  Messages pack the shipped
+    operand values the same way (two bits per payload slot), tagged with the
+    out-port under port-addressed sending.  The Boolean closure is a single
+    ascending sweep over the precompiled connective schedule: children have
+    smaller positions, so one pass reaches the same fixpoint as the seed's
+    iterate-until-stable loop.  Semantics are bit-for-bit the seed
+    construction's: same gating of modal subformulas on the previous round,
+    same halting rule (all positions known), same outputs.
+    """
+
+    model: ClassVar[Model]  # set per instance below
+
+    def __init__(self, formula: Formula, problem_class: ProblemClass) -> None:
+        self._original = formula
+        self._formula = _normalise(formula)
+        self._class = problem_class
+        self.model = problem_class.model
+        pool = formula_pool()
+        ids = pool.reachable_ids(self._formula.node_id)
+        position_of = {node_id: position for position, node_id in enumerate(ids)}
+        count = len(ids)
+        self._count = count
+        self._value_mask = (1 << count) - 1
+        self._root = position_of[self._formula.node_id]
+
+        atoms: list[tuple[int, int, Any]] = []
+        schedule: list[tuple[int, int, tuple[int, ...]]] = []
+        modal: list[tuple[int, int, int, Any, Any]] = []
+        modal_formulas: list[Formula] = []
+        operand_positions: list[int] = []
+        for node_id in ids:
+            position = position_of[node_id]
+            kind = pool.kinds[node_id]
+            kids = tuple(position_of[child] for child in pool.children[node_id])
+            if kind in (KIND_PROP, KIND_TOP, KIND_BOTTOM):
+                payload = pool.payloads[node_id][0] if kind == KIND_PROP else None
+                atoms.append((position, kind, payload))
+            elif kind in (KIND_NOT, KIND_AND, KIND_OR):
+                schedule.append((position, kind, kids))
+            else:  # KIND_DIAMOND / KIND_GRADED (boxes/implications normalised away)
+                phi = pool.nodes[node_id]
+                modal_formulas.append(phi)
+                if kind == KIND_GRADED:
+                    grade, index = pool.payloads[node_id]
+                else:
+                    grade, index = 1, pool.payloads[node_id][0]
+                in_part, out_part = index if index is not None else (STAR, STAR)
+                operand = kids[0]
+                if operand not in operand_positions:
+                    operand_positions.append(operand)
+                modal.append((position, operand, grade, in_part, out_part))
+        self._atoms = tuple(atoms)
+        self._schedule = tuple(schedule)
+        self._modal = tuple(modal)
+        self._payload_positions = tuple(operand_positions)
+        self._payload_slot = {
+            position: slot for slot, position in enumerate(operand_positions)
+        }
+        _validate_modal_indices(modal_formulas, problem_class)
+
+    # ------------------------------------------------------------------ #
+    # Public metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return f"CompiledFormulaAlgorithm[{self._class}]({self._original})"
+
+    @property
+    def formula(self) -> Formula:
+        return self._original
+
+    @property
+    def problem_class(self) -> ProblemClass:
+        return self._class
+
+    @property
+    def subformula_count(self) -> int:
+        """The number of distinct subformulas (= packed-state width in bits)."""
+        return self._count
+
+    @property
+    def running_time_bound(self) -> int:
+        """The guaranteed bound ``md(psi) + 1`` on the number of rounds."""
+        return modal_depth(self._formula) + 1
+
+    # ------------------------------------------------------------------ #
+    # Packed three-valued evaluation
+    # ------------------------------------------------------------------ #
+
+    def _boolean_pass(self, values: int, known: int) -> tuple[int, int]:
+        """One ascending sweep resolving every resolvable connective."""
+        for position, kind, kids in self._schedule:
+            bit = 1 << position
+            if known & bit:
+                continue
+            if kind == KIND_NOT:
+                child = kids[0]
+                if known >> child & 1:
+                    known |= bit
+                    if not values >> child & 1:
+                        values |= bit
+            elif kind == KIND_AND:
+                left, right = kids
+                left_known = known >> left & 1
+                right_known = known >> right & 1
+                if (left_known and not values >> left & 1) or (
+                    right_known and not values >> right & 1
+                ):
+                    known |= bit  # Kleene: one false child settles it
+                elif left_known and right_known:
+                    known |= bit
+                    values |= bit
+            else:  # KIND_OR
+                left, right = kids
+                left_known = known >> left & 1
+                right_known = known >> right & 1
+                if (left_known and values >> left & 1) or (
+                    right_known and values >> right & 1
+                ):
+                    known |= bit
+                    values |= bit
+                elif left_known and right_known:
+                    known |= bit
+        return values, known
+
+    def _wrap(self, degree: int, values: int, known: int) -> Any:
+        if known == self._value_mask:  # every position known -> halt
+            return Output(values >> self._root & 1)
+        return (degree, values | known << self._count)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm interface
+    # ------------------------------------------------------------------ #
+
+    def initial_state(self, degree: int) -> Any:
+        values = 0
+        known = 0
+        degree_prop = degree_proposition(degree)
+        for position, kind, payload in self._atoms:
+            known |= 1 << position
+            if kind == KIND_TOP or (kind == KIND_PROP and payload == degree_prop):
+                values |= 1 << position
+        values, known = self._boolean_pass(values, known)
+        return self._wrap(degree, values, known)
+
+    def _payload(self, values: int, known: int) -> int:
+        packed = 0
+        for slot, position in enumerate(self._payload_positions):
+            packed |= (known >> position & 1) << (2 * slot + 1)
+            packed |= (values >> position & 1) << (2 * slot)
+        return packed
+
+    def send(self, state: Any, port: int) -> Any:
+        degree, packed = state
+        payload = self._payload(packed & self._value_mask, packed >> self._count)
+        if self.model.send is SendMode.BROADCAST:
+            return payload
+        return (port, payload)
+
+    def broadcast(self, state: Any) -> Any:
+        _degree, packed = state
+        return self._payload(packed & self._value_mask, packed >> self._count)
+
+    def _operand_true(self, message: Any, slot: int) -> bool:
+        """Whether the sender knew the operand true (m0 counts as false)."""
+        if message == NO_MESSAGE or message is None:
+            return False
+        payload = message
+        if self.model.send is SendMode.PORT:
+            payload = message[1]
+        return payload >> (2 * slot) & 3 == 3  # known and true
+
+    def _message_out_port(self, message: Any) -> int | None:
+        if message == NO_MESSAGE or message is None:
+            return None
+        if self.model.send is SendMode.PORT:
+            return message[0]
+        return None
+
+    def _resolve_modal(
+        self, entry: tuple, degree: int, received: Any
+    ) -> int:
+        """The 0/1 value of one modal position (its gate already passed)."""
+        _position, operand, grade, in_part, out_part = entry
+        slot = self._payload_slot[operand]
+        receive = self.model.receive
+        if receive is ReceiveMode.VECTOR:
+            if in_part == STAR:
+                candidates = received
+            else:
+                if in_part > degree:
+                    return 1 if grade == 0 else 0
+                candidates = (received[in_part - 1],)
+            count = 0
+            for message in candidates:
+                if message == NO_MESSAGE:
+                    continue
+                if out_part != STAR and self._message_out_port(message) != out_part:
+                    continue
+                if self._operand_true(message, slot):
+                    count += 1
+            return 1 if count >= grade else 0
+        if receive is ReceiveMode.MULTISET:
+            count = 0
+            for message, multiplicity in received.counts().items():
+                if message == NO_MESSAGE:
+                    continue
+                if out_part != STAR and self._message_out_port(message) != out_part:
+                    continue
+                if self._operand_true(message, slot):
+                    count += multiplicity
+            return 1 if count >= grade else 0
+        # Set semantics: existence only.
+        if grade == 0:
+            return 1
+        exists = any(
+            message != NO_MESSAGE
+            and (out_part == STAR or self._message_out_port(message) == out_part)
+            and self._operand_true(message, slot)
+            for message in received
+        )
+        return 1 if exists else 0
+
+    def transition(self, state: Any, received: Any) -> Any:
+        degree, packed = state
+        count = self._count
+        prev_known = packed >> count
+        values = packed & self._value_mask
+        known = prev_known
+        for entry in self._modal:
+            position = entry[0]
+            if prev_known >> position & 1:
+                continue
+            # The gate uses the *previous* round's knowledge of the operand:
+            # received payloads carry the senders' previous-round values
+            # (the paper's condition "f(theta) != U").
+            if not prev_known >> entry[1] & 1:
+                continue
+            known |= 1 << position
+            if self._resolve_modal(entry, degree, received):
+                values |= 1 << position
+        values, known = self._boolean_pass(values, known)
+        return self._wrap(degree, values, known)
+
+
+#: Formula-algorithm backends selectable by the engine knob.
+FORMULA_ENGINES = ("compiled", "reference")
+
+
+def algorithm_for_formula(
+    formula: Formula, problem_class: ProblemClass, engine: str = "compiled"
+) -> Algorithm:
+    """The local algorithm realising ``formula`` in ``problem_class``.
+
+    ``engine="compiled"`` returns the packed-int
+    :class:`CompiledFormulaAlgorithm`; ``engine="reference"`` the seed
+    :class:`FormulaAlgorithm`, kept as the differential oracle.  Both raise
+    ``ValueError`` on modality indices the class cannot realise.
+    """
+    check_engine(engine)
+    if engine == "reference":
+        return FormulaAlgorithm(formula, problem_class)
+    return CompiledFormulaAlgorithm(formula, problem_class)
+
+
+__all__ = [
+    "CompiledFormulaAlgorithm",
+    "FormulaAlgorithm",
+    "FORMULA_ENGINES",
+    "UNDEFINED",
+    "algorithm_for_formula",
+]

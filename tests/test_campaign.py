@@ -595,3 +595,100 @@ class TestCli:
             campaign_main(["--store", str(tmp_path), "run", "nope"])
         with pytest.raises(SystemExit, match="no manifest"):
             campaign_main(["--store", str(tmp_path), "report", "nope"])
+
+
+class TestCorrespondenceCampaigns:
+    """The Theorem 2 round-trip scenario kind."""
+
+    @staticmethod
+    def tiny_correspondence_spec(name: str = "tiny-corr") -> CampaignSpec:
+        return CampaignSpec(
+            name=name,
+            kind="correspondence",
+            graphs=[GraphGrid.of("cycle", {"n": 4}), GraphGrid.of("star", {"leaves": 3})],
+            port_strategies=["consistent", "random"],
+            model_classes=["SB", "MV"],
+            machines=["parity"],
+            seeds=[0, 1],
+        )
+
+    def test_spec_round_trips_with_the_machines_axis(self):
+        spec = self.tiny_correspondence_spec()
+        clone = CampaignSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.machines == ["parity"]
+
+    def test_scenarios_carry_the_machine_workload(self):
+        scenarios = self.tiny_correspondence_spec().expand()
+        assert scenarios
+        assert all(s.kind == "correspondence" for s in scenarios)
+        assert all(s.machine == "parity" for s in scenarios)
+        assert all(s.algorithm is None and s.formula_set is None for s in scenarios)
+        # Scenario round trip keeps the machine field.
+        for scenario in scenarios[:3]:
+            assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_non_correspondence_hashes_are_unchanged(self):
+        """Execution/logic records must keep their store addresses: the
+        ``machine`` key is only serialized when set."""
+        scenario = tiny_spec().expand()[0]
+        assert "machine" not in scenario.to_dict()
+
+    def test_machines_axis_rejected_for_other_kinds(self):
+        with pytest.raises(ValueError, match="machines"):
+            CampaignSpec(
+                name="bad",
+                kind="execution",
+                graphs=[GraphGrid.of("cycle", {"n": 4})],
+                model_classes=["SB"],
+                machines=["parity"],
+            )
+
+    def test_unknown_machine_fails_at_expansion(self):
+        spec = self.tiny_correspondence_spec()
+        spec.machines = ["no-such-machine"]
+        with pytest.raises(ValueError, match="unknown machine"):
+            spec.expand()
+
+    def test_default_machine_fills_an_empty_axis(self):
+        spec = self.tiny_correspondence_spec()
+        spec.machines = []
+        assert all(s.machine == "parity" for s in spec.expand())
+
+    def test_campaign_runs_and_rolls_up_all_agree(self, tmp_path):
+        spec = self.tiny_correspondence_spec()
+        run = run_campaign(spec, tmp_path / "store")
+        assert run.executed == run.total
+        stored_spec, records = load_records(ResultStore(tmp_path / "store"), spec.name)
+        assert all(record["result"]["agree"] for record in records)
+        assert all(record["result"]["oracle_checked"] for record in records)
+        assert all(
+            record["result"]["dag_size"] <= record["result"]["tree_size"]
+            for record in records
+        )
+        result = campaign_result(stored_spec, records)
+        assert result.all_match
+        assert {row.metric for row in result.rows} == {"parity on SB", "parity on MV"}
+        assert all("Theorem 2" in row.paper for row in result.rows)
+
+    def test_sharded_manifest_matches_serial(self, tmp_path):
+        spec = self.tiny_correspondence_spec()
+        serial = run_campaign(spec, tmp_path / "serial")
+        sharded = run_campaign(spec, tmp_path / "sharded", workers=2)
+        assert serial.manifest_digest == sharded.manifest_digest
+
+    def test_resume_skips_stored_roundtrips(self, tmp_path):
+        spec = self.tiny_correspondence_spec()
+        run_campaign(spec, tmp_path / "store")
+        resumed = run_campaign(spec, tmp_path / "store")
+        assert resumed.executed == 0
+        assert resumed.store_hit_rate == 1.0
+
+    def test_builtin_e2_correspondence_spec_expands(self):
+        spec = builtin_spec("e2-correspondence")
+        scenarios = spec.expand()
+        assert len(scenarios) > 50
+        # The non-trivial topologies of the satellite requirement are axes.
+        families = {s.family for s in scenarios}
+        assert {"circulant", "torus", "lift"} <= families
+        assert {s.model_class for s in scenarios} == {"SB", "MB", "VB", "MV", "SV", "VV"}

@@ -1,0 +1,187 @@
+"""Invariants of the hash-consed formula pool (logic/syntax.py).
+
+The pool is the substrate of the whole correspondence pipeline: every
+constructor interns into it, every compiled engine keys caches by its node
+ids, and the Table 4/5 construction relies on ``dag_size``/``tree_size``
+reporting the sharing exactly.  These tests pin the interning contract
+(structural equality == object identity), the children-before-parents id
+order, and the incremental size/depth bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    Box,
+    Diamond,
+    Formula,
+    GradedDiamond,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    Top,
+    children,
+    conjunction,
+    dag_size,
+    disjunction,
+    formula_pool,
+    modal_depth,
+    subformulas,
+    topological_ids,
+    tree_size,
+)
+
+
+def random_formula(rng: random.Random, depth: int) -> Formula:
+    """A random formula over a tiny proposition alphabet."""
+    if depth == 0 or rng.random() < 0.25:
+        return rng.choice([Prop("p"), Prop("q"), Top(), Bottom()])
+    pick = rng.randrange(7)
+    sub = random_formula(rng, depth - 1)
+    if pick == 0:
+        return Not(sub)
+    if pick == 1:
+        return And(sub, random_formula(rng, depth - 1))
+    if pick == 2:
+        return Or(sub, random_formula(rng, depth - 1))
+    if pick == 3:
+        return Implies(sub, random_formula(rng, depth - 1))
+    if pick == 4:
+        return Diamond(sub, index=rng.choice([None, ("*", "*"), (1, 2)]))
+    if pick == 5:
+        return Box(sub, index=rng.choice([None, ("*", "*")]))
+    return GradedDiamond(sub, grade=rng.randrange(3), index=("*", "*"))
+
+
+class TestInterning:
+    def test_structurally_equal_formulas_are_identical(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        for _ in range(50):
+            first = random_formula(rng1, 4)
+            second = random_formula(rng2, 4)
+            assert first is second
+
+    def test_reconstruction_does_not_grow_the_pool(self):
+        formula = Implies(And(Prop("p"), Diamond(Prop("q"))), Box(Prop("p")))
+        before = len(formula_pool())
+        again = Implies(And(Prop("p"), Diamond(Prop("q"))), Box(Prop("p")))
+        assert again is formula
+        assert len(formula_pool()) == before
+
+    def test_constants_are_singletons(self):
+        assert Top() is Top()
+        assert Bottom() is Bottom()
+
+    def test_distinct_payloads_distinct_nodes(self):
+        assert Diamond(Prop("p"), index=(1, 2)) is not Diamond(Prop("p"), index=(2, 1))
+        assert GradedDiamond(Prop("p"), 1) is not GradedDiamond(Prop("p"), 2)
+        assert Prop("p") is not Prop("q")
+
+    def test_formulas_are_immutable(self):
+        prop = Prop("p")
+        with pytest.raises(AttributeError):
+            prop.name = "q"
+        with pytest.raises(AttributeError):
+            del prop.name
+
+    def test_pickle_round_trip_reinterns(self):
+        formula = And(Diamond(Prop("p"), index=("*", "*")), Not(Prop("q")))
+        clone = pickle.loads(pickle.dumps(formula))
+        assert clone is formula
+
+
+class TestPoolQueries:
+    def test_dag_size_never_exceeds_tree_size(self):
+        rng = random.Random(11)
+        for _ in range(100):
+            formula = random_formula(rng, 5)
+            assert dag_size(formula) <= tree_size(formula)
+
+    def test_shared_subterms_counted_once(self):
+        shared = And(Prop("p"), Prop("q"))
+        formula = Or(shared, Not(shared))
+        # Tree: Or + (And p q) + Not + (And p q) = 8; DAG shares the And.
+        assert tree_size(formula) == 8
+        assert dag_size(formula) == 5
+
+    def test_exponential_tree_linear_dag(self):
+        formula: Formula = Prop("p")
+        for _ in range(200):
+            formula = And(formula, formula)
+        assert dag_size(formula) == 201
+        assert tree_size(formula) == 2 ** 201 - 1
+
+    def test_tree_size_and_depth_match_recursive_recomputation(self):
+        def recompute(formula: Formula) -> tuple[int, int]:
+            kids = children(formula)
+            size = 1 + sum(recompute(kid)[0] for kid in kids)
+            depth = max((recompute(kid)[1] for kid in kids), default=0)
+            if isinstance(formula, (Diamond, Box, GradedDiamond)):
+                depth += 1
+            return size, depth
+
+        rng = random.Random(13)
+        for _ in range(30):
+            formula = random_formula(rng, 4)
+            size, depth = recompute(formula)
+            assert tree_size(formula) == size
+            assert modal_depth(formula) == depth
+
+    def test_topological_ids_children_first(self):
+        rng = random.Random(17)
+        pool = formula_pool()
+        for _ in range(30):
+            formula = random_formula(rng, 5)
+            ids = topological_ids(formula)
+            position = {node_id: index for index, node_id in enumerate(ids)}
+            assert ids[-1] == formula.node_id
+            for node_id in ids:
+                for child in pool.children[node_id]:
+                    assert position[child] < position[node_id]
+
+    def test_subformulas_are_the_reachable_nodes(self):
+        shared = Diamond(Prop("p"), index=("*", "*"))
+        formula = And(shared, Or(shared, Top()))
+        assert subformulas(formula) == frozenset(
+            {formula, shared, Or(shared, Top()), Prop("p"), Top()}
+        )
+        assert len(subformulas(formula)) == dag_size(formula)
+
+    def test_builders_share_via_the_pool(self):
+        parts = [Prop(f"r{i}") for i in range(4)]
+        assert conjunction(parts) is conjunction(iter(parts))
+        assert disjunction(parts) is disjunction(iter(parts))
+        assert conjunction([]) is Top()
+        assert disjunction([]) is Bottom()
+
+
+class TestParserPoolRoundTrip:
+    CASES = [
+        "deg1 & <>(deg2 | ~deg3)",
+        "<2,1> deg3",
+        "<*,*>>=2 odd",
+        "[1,2](p -> q)",
+        "true | (false & p)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_lands_in_the_pool(self, text):
+        assert parse_formula(text) is parse_formula(text)
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_str_reparses_to_the_same_node(self, text):
+        formula = parse_formula(text)
+        assert parse_formula(str(formula)) is formula
+
+    def test_programmatic_and_parsed_share_nodes(self):
+        built = And(Prop("deg1"), Diamond(Prop("deg2"), index=(2, 1)))
+        parsed = parse_formula("deg1 & <2,1> deg2")
+        assert parsed is built

@@ -1,0 +1,220 @@
+"""Round-trip property tests for the Theorem 2 correspondence pipeline.
+
+For machines of all seven classes -- the deterministic library machines and
+seed-fuzzed random ones -- the pipeline must close the loop: machine ->
+hash-consed Table 4/5 formula -> compiled formula-algorithm, with machine
+outputs, formula extension and recompiled-algorithm outputs agreeing on
+every adversarial port numbering, and the seed formula-algorithm agreeing as
+a differential oracle.  Plus the fail-fast contract of the construction's
+node budget (:class:`FormulaSizeError`).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.logic.syntax import dag_size, formula_pool, modal_depth, tree_size
+from repro.machines.library import class_view, random_machine, reference_machine
+from repro.machines.models import ProblemClass, ReceiveMode, SendMode
+from repro.machines.state_machine import FiniteStateMachine
+from repro.modal.algorithm_to_formula import (
+    FormulaSizeError,
+    formula_for_machine,
+    predict_formula_nodes,
+)
+from repro.modal.correspondence import machine_roundtrip_report
+
+ALL_CLASSES = list(ProblemClass)
+
+#: Max degree 3: a star plus a path, swept exhaustively per numbering.
+DELTA3_GRAPHS = (star_graph(3), path_graph(4))
+#: Max degree 2: cheap enough for the randomized and two-round sweeps.
+DELTA2_GRAPHS = (path_graph(3), cycle_graph(4))
+
+
+@pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+def test_reference_machine_roundtrip(problem_class):
+    report = machine_roundtrip_report(
+        reference_machine(problem_class, delta=3),
+        problem_class,
+        running_time=1,
+        graphs=DELTA3_GRAPHS,
+    )
+    assert report.agree, report.first_disagreement
+    assert report.oracle_checked
+    assert report.instances > 0
+    assert report.modal_depth == 1
+    assert report.dag_size <= report.tree_size
+
+
+@pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+@pytest.mark.parametrize("seed", range(3))
+def test_random_machine_roundtrip(problem_class, seed):
+    report = machine_roundtrip_report(
+        random_machine(problem_class, delta=2, seed=seed),
+        problem_class,
+        running_time=1,
+        graphs=DELTA2_GRAPHS,
+    )
+    assert report.agree, report.first_disagreement
+    assert report.oracle_checked
+
+
+def test_roundtrip_honours_accepting_output():
+    """The machine-output comparison binarizes against ``accepting_output``:
+    the formula for output 0 must agree with the output-0 indicator."""
+    machine = reference_machine(ProblemClass.MB, delta=3)
+    report = machine_roundtrip_report(
+        machine,
+        ProblemClass.MB,
+        running_time=1,
+        graphs=DELTA3_GRAPHS,
+        accepting_output=0,
+    )
+    assert report.agree, report.first_disagreement
+
+
+def test_roundtrip_without_instances_is_rejected():
+    """No graphs and no pairs must raise, not report vacuous agreement."""
+    machine = reference_machine(ProblemClass.SB, delta=2)
+    with pytest.raises(ValueError, match="graphs"):
+        machine_roundtrip_report(machine, ProblemClass.SB, running_time=1)
+
+
+@pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+def test_two_round_machine_roundtrip(problem_class):
+    report = machine_roundtrip_report(
+        reference_machine(problem_class, delta=2, rounds=2),
+        problem_class,
+        running_time=2,
+        graphs=DELTA2_GRAPHS,
+    )
+    assert report.agree, report.first_disagreement
+    assert report.modal_depth == 2
+
+
+class TestMachineLibrary:
+    @pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+    def test_transition_factors_through_the_class_view(self, problem_class):
+        """Permuting the padded vector never changes a non-Vector transition."""
+        machine = random_machine(problem_class, delta=3, seed=9)
+        vectors = [("x", "y", machine.no_message), ("x", "x", "y")]
+        for state in machine.intermediate_states:
+            for vector in vectors:
+                results = {
+                    machine.transition_table(state, permuted)
+                    for permuted in itertools.permutations(vector)
+                }
+                if problem_class.model.receive is ReceiveMode.VECTOR:
+                    continue
+                assert len(results) == 1
+
+    def test_set_machines_ignore_multiplicities(self):
+        machine = random_machine(ProblemClass.SB, delta=3, seed=9)
+        for state in machine.intermediate_states:
+            assert machine.transition_table(state, ("x", "x", "y")) == (
+                machine.transition_table(state, ("x", "y", "y"))
+            )
+
+    @pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+    def test_broadcast_machines_ignore_the_port(self, problem_class):
+        machine = random_machine(problem_class, delta=3, seed=4)
+        if problem_class.model.send is not SendMode.BROADCAST:
+            return
+        for state in machine.intermediate_states:
+            messages = {machine.message_table(state, port) for port in (1, 2, 3)}
+            assert len(messages) == 1
+
+    def test_machines_are_cross_process_deterministic(self):
+        """Hash-derived tables never depend on the process hash seed."""
+        first = random_machine(ProblemClass.MV, delta=2, seed=3)
+        second = random_machine(ProblemClass.MV, delta=2, seed=3)
+        assert first.initial_states == second.initial_states
+        for state in first.intermediate_states:
+            assert first.message_table(state, 1) == second.message_table(state, 1)
+            assert first.transition_table(state, ("x", "y")) == (
+                second.transition_table(state, ("x", "y"))
+            )
+
+    def test_class_view_collapses_exactly_the_invisible_structure(self):
+        padded = ("x", "y", "x")
+        assert class_view(ProblemClass.VV, padded) == padded
+        assert class_view(ProblemClass.MV, padded) == ("x", "x", "y")
+        assert class_view(ProblemClass.SV, padded) == ("x", "y")
+
+
+class TestFormulaSizeBudget:
+    def test_over_budget_raises_before_enumerating(self):
+        machine = reference_machine(ProblemClass.VV, delta=3)
+        with pytest.raises(FormulaSizeError) as err:
+            formula_for_machine(machine, ProblemClass.VV, 1, max_formula_nodes=100)
+        assert err.value.budget == 100
+        assert err.value.predicted_nodes > 100
+        assert err.value.specs > 0
+        assert "max_formula_nodes" in str(err.value)
+
+    def test_infeasible_coordinate_fails_fast(self):
+        """A (Delta, |M|, T) blow-up raises cleanly instead of hanging."""
+        machine = reference_machine(ProblemClass.VV, delta=6)
+        with pytest.raises(FormulaSizeError) as err:
+            formula_for_machine(machine, ProblemClass.VV, 3)
+        assert err.value.predicted_nodes > err.value.budget
+
+    def test_none_disables_the_budget(self):
+        machine = reference_machine(ProblemClass.SB, delta=2)
+        formula = formula_for_machine(
+            machine, ProblemClass.SB, 1, max_formula_nodes=None
+        )
+        assert modal_depth(formula) == 1
+
+    def test_prediction_bounds_actual_pool_growth(self):
+        """The estimate is an upper bound: unique messages defeat interning."""
+        machine = FiniteStateMachine(
+            delta_bound=2,
+            intermediate_states=frozenset({"u-state-a", "u-state-b"}),
+            stopping_states=frozenset({0, 1}),
+            messages=frozenset({"uniq-m1", "uniq-m2"}),
+            initial_states={0: "u-state-a", 1: "u-state-b", 2: "u-state-a"},
+            message_table=lambda state, port: "uniq-m1" if state == "u-state-a" else "uniq-m2",
+            transition_table=lambda state, padded: 1 if "uniq-m1" in set(padded) else 0,
+        )
+        predicted, specs = predict_formula_nodes(machine, ProblemClass.SB, 1)
+        pool = formula_pool()
+        before = len(pool)
+        formula_for_machine(machine, ProblemClass.SB, 1)
+        grown = len(pool) - before
+        assert grown <= predicted
+        assert specs > 0
+
+    def test_roundtrip_report_threads_the_budget(self):
+        machine = reference_machine(ProblemClass.VV, delta=3)
+        with pytest.raises(FormulaSizeError):
+            machine_roundtrip_report(
+                machine,
+                ProblemClass.VV,
+                1,
+                graphs=DELTA3_GRAPHS,
+                max_formula_nodes=100,
+            )
+
+
+class TestEmittedFormulas:
+    @pytest.mark.parametrize("problem_class", ALL_CLASSES, ids=str)
+    def test_modal_depth_equals_running_time(self, problem_class):
+        machine = reference_machine(problem_class, delta=2)
+        formula = formula_for_machine(machine, problem_class, 1)
+        assert modal_depth(formula) == 1
+        deep = reference_machine(problem_class, delta=2, rounds=2)
+        assert modal_depth(formula_for_machine(deep, problem_class, 2)) == 2
+
+    def test_sharing_beats_the_tree_blowup(self):
+        """The two-round Vector formula: tree in the millions, DAG tiny."""
+        machine = reference_machine(ProblemClass.VV, delta=3, rounds=2)
+        formula = formula_for_machine(
+            machine, ProblemClass.VV, 2, max_formula_nodes=2_000_000
+        )
+        assert tree_size(formula) > 10**6
+        assert dag_size(formula) < 100_000
