@@ -1,0 +1,169 @@
+"""Benchmark the superposed sweep engine against the compiled engine.
+
+Every pair runs the identical adversarial port-numbering sweep twice: once
+through :func:`repro.execution.sweep.run_sweep` (one transition evaluation
+per distinct configuration across the whole sweep, instance-level collapse
+under the weaker receive modes) and once through the PR 1 compiled
+active-set engine exactly as the consumers drove it before the sweep engine
+existed (``run_many(engine="compiled", memoize_transitions=True)``).  The
+three workload shapes mirror the sweep engine's consumers:
+
+* **E3-shaped** -- the containment/separation verification sweeps: one
+  native-model algorithm per class over the exhaustive numberings of a small
+  witness graph;
+* **E9-shaped** -- regular-graph machine sweeps: a two-round library machine
+  over hundreds of sampled numberings of one 3-regular graph;
+* **correspondence-shaped** -- the Theorem 2 round trip fronts: the machine
+  algorithm and the compiled formula-algorithm over an exhaustive sweep.
+
+``benchmarks/run_all.py`` turns these pairs into ``sweep_pairs`` /
+``geomean_sweep_speedup`` in ``BENCH_<date>.json``; CI asserts a floor on
+the smoke-size geomean.  Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI budget.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.algorithms.basic import (
+    BroadcastMinimumDegreeAlgorithm,
+    GatherDegreesAlgorithm,
+    NeighbourDegreeSumAlgorithm,
+)
+from repro.algorithms.leaf_election import LeafElectionAlgorithm
+from repro.algorithms.parity import SomeOddNeighbourAlgorithm
+from repro.execution.engine import compile_instance, run_many
+from repro.execution.sweep import SweepStats, run_sweep
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.ports import all_port_numberings, random_port_numbering
+from repro.machines.library import reference_machine
+from repro.machines.models import ProblemClass
+from repro.machines.state_machine import algorithm_from_machine
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.formula_to_algorithm import algorithm_for_formula
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Exhaustive numberings of the E3/correspondence witness sweeps.
+E3_CAP = 96 if SMOKE else 512
+CORRESPONDENCE_CAP = 128 if SMOKE else 768
+#: Sampled numberings of the E9-shaped regular-graph sweeps.
+E9_SAMPLES = 120 if SMOKE else 600
+
+RUNNERS = ("sweep", "compiled")
+
+
+def _run(runner: str, algorithm, instances):
+    if runner == "sweep":
+        return run_sweep(algorithm, instances, require_halt=False)
+    return run_many(
+        algorithm,
+        instances,
+        require_halt=False,
+        engine="compiled",
+        memoize_transitions=True,
+    )
+
+
+def _exhaustive_instances(graph, cap):
+    numberings = []
+    for numbering in all_port_numberings(graph):
+        numberings.append(numbering)
+        if len(numberings) >= cap:
+            break
+    return [compile_instance((graph, numbering)) for numbering in numberings]
+
+
+# --------------------------------------------------------------------------- #
+# E3-shaped: per-class verification sweeps over an exhaustive witness
+# --------------------------------------------------------------------------- #
+
+E3_GRAPH = cycle_graph(4)
+E3_INSTANCES = _exhaustive_instances(E3_GRAPH, E3_CAP)
+
+E3_ALGORITHMS = {
+    "MV (GatherDegrees)": GatherDegreesAlgorithm(),
+    "SV (LeafElection)": LeafElectionAlgorithm(),
+    "VB (BroadcastMinDegree)": BroadcastMinimumDegreeAlgorithm(),
+    "MB (NeighbourDegreeSum)": NeighbourDegreeSumAlgorithm(),
+    "SB (SomeOddNeighbour)": SomeOddNeighbourAlgorithm(),
+}
+
+
+@pytest.mark.parametrize("runner", RUNNERS, ids=RUNNERS)
+@pytest.mark.parametrize("label", list(E3_ALGORITHMS), ids=list(E3_ALGORITHMS))
+def test_e3_exhaustive_adversary_sweep(benchmark, label, runner):
+    algorithm = E3_ALGORITHMS[label]
+    stats = SweepStats()
+    run_sweep(algorithm, E3_INSTANCES, require_halt=False, stats=stats)
+    benchmark.extra_info["instances"] = len(E3_INSTANCES)
+    benchmark.extra_info["occurrences"] = stats.naive_occurrences
+    benchmark.extra_info["evaluations"] = stats.evaluations
+    benchmark.extra_info["executed_instances"] = stats.executed
+
+    results = benchmark(_run, runner, algorithm, E3_INSTANCES)
+    assert all(result.halted for result in results)
+
+
+# --------------------------------------------------------------------------- #
+# E9-shaped: two-round machines over sampled numberings of a regular graph
+# --------------------------------------------------------------------------- #
+
+E9_GRAPH = random_regular_graph(3, 10, seed=1)
+_rng = random.Random(0)
+E9_INSTANCES = [
+    compile_instance((E9_GRAPH, random_port_numbering(E9_GRAPH, rng=_rng)))
+    for _ in range(E9_SAMPLES)
+]
+
+E9_CLASSES = ("VV", "MV", "SB")
+
+
+@pytest.mark.parametrize("runner", RUNNERS, ids=RUNNERS)
+@pytest.mark.parametrize("cls", E9_CLASSES, ids=E9_CLASSES)
+def test_e9_regular_machine_sweep(benchmark, cls, runner):
+    algorithm = algorithm_from_machine(
+        reference_machine(ProblemClass(cls), 3, rounds=2).as_state_machine()
+    )
+    stats = SweepStats()
+    run_sweep(algorithm, E9_INSTANCES, require_halt=False, stats=stats)
+    benchmark.extra_info["instances"] = len(E9_INSTANCES)
+    benchmark.extra_info["occurrences"] = stats.naive_occurrences
+    benchmark.extra_info["evaluations"] = stats.evaluations
+
+    results = benchmark(_run, runner, algorithm, E9_INSTANCES)
+    assert all(result.halted for result in results)
+
+
+# --------------------------------------------------------------------------- #
+# Correspondence-shaped: both Theorem 2 fronts over an exhaustive sweep
+# --------------------------------------------------------------------------- #
+
+CORRESPONDENCE_GRAPH = cycle_graph(5)
+CORRESPONDENCE_INSTANCES = _exhaustive_instances(
+    CORRESPONDENCE_GRAPH, CORRESPONDENCE_CAP
+)
+_MACHINE = reference_machine(ProblemClass.MV, 2, rounds=1)
+_FORMULA = formula_for_machine(_MACHINE, ProblemClass.MV, 1)
+
+CORRESPONDENCE_FRONTS = {
+    "machine-algorithm": algorithm_from_machine(_MACHINE.as_state_machine()),
+    "formula-algorithm": algorithm_for_formula(_FORMULA, ProblemClass.MV),
+}
+
+
+@pytest.mark.parametrize("runner", RUNNERS, ids=RUNNERS)
+@pytest.mark.parametrize("front", list(CORRESPONDENCE_FRONTS), ids=list(CORRESPONDENCE_FRONTS))
+def test_correspondence_roundtrip_sweep(benchmark, front, runner):
+    algorithm = CORRESPONDENCE_FRONTS[front]
+    stats = SweepStats()
+    run_sweep(algorithm, CORRESPONDENCE_INSTANCES, require_halt=False, stats=stats)
+    benchmark.extra_info["instances"] = len(CORRESPONDENCE_INSTANCES)
+    benchmark.extra_info["occurrences"] = stats.naive_occurrences
+    benchmark.extra_info["evaluations"] = stats.evaluations
+
+    results = benchmark(_run, runner, algorithm, CORRESPONDENCE_INSTANCES)
+    assert all(result.halted for result in results)

@@ -43,6 +43,13 @@ REPO_ROOT = BENCH_DIR.parent
 _NEW_VALUES = {"engine", "compiled", "warm"}
 _OLD_VALUES = {"seed", "reference", "cold"}
 
+#: Per-file overrides of the pairing sides.  bench_sweep pairs the superposed
+#: sweep engine *against* the compiled engine (which is the "new" side
+#: everywhere else), so its spellings are remapped locally.
+_FILE_SIDES = {
+    "bench_sweep": ({"sweep"}, {"compiled", "reference"}),
+}
+
 #: The modules the CI smoke path exercises (``--quick``): one engine-bound,
 #: one logic-bound, the campaign and the correspondence benchmarks -- every
 #: summary section stays populated while the wall time stays in CI budget.
@@ -51,6 +58,7 @@ QUICK_MODULES = (
     "bench_correspondence",
     "bench_execution",
     "bench_logic",
+    "bench_sweep",
 )
 
 
@@ -112,19 +120,27 @@ def summarize_file(name: str, data: dict, wall: float) -> dict:
         if "sync_rounds" in extra:
             entry["sync_rounds"] = extra["sync_rounds"]
             entry["rounds_per_sec"] = extra["sync_rounds"] / stats["mean"]
-        for key in ("nodes", "tree_size", "dag_size", "instances"):
+        for key in (
+            "nodes",
+            "tree_size",
+            "dag_size",
+            "instances",
+            "occurrences",
+            "evaluations",
+            "executed_instances",
+        ):
             if key in extra:
                 entry[key] = extra[key]
         tests.append(entry)
     return {"wall_time_s": round(wall, 3), "tests": tests}
 
 
-def _pair_key(test: dict) -> tuple:
+def _pair_key(test: dict, new_values: set, old_values: set) -> tuple:
     """Identity of a benchmark modulo the engine/seed parameter."""
     params = {
         key: value
         for key, value in test["params"].items()
-        if value not in _NEW_VALUES | _OLD_VALUES
+        if value not in new_values | old_values
     }
     base_name = test["name"].split("[")[0]
     return base_name, tuple(sorted(params.items()))
@@ -133,17 +149,18 @@ def _pair_key(test: dict) -> tuple:
 def derive_pairs(benches: dict) -> list[dict]:
     pairs = []
     for file_name, payload in benches.items():
+        new_values, old_values = _FILE_SIDES.get(file_name, (_NEW_VALUES, _OLD_VALUES))
         grouped: dict[tuple, dict[str, dict]] = {}
         for test in payload["tests"]:
             runner_values = [
                 value
                 for value in test["params"].values()
-                if value in _NEW_VALUES | _OLD_VALUES
+                if value in new_values | old_values
             ]
             if not runner_values:
                 continue
-            side = "new" if runner_values[0] in _NEW_VALUES else "old"
-            grouped.setdefault(_pair_key(test), {})[side] = test
+            side = "new" if runner_values[0] in new_values else "old"
+            grouped.setdefault(_pair_key(test, new_values, old_values), {})[side] = test
         for (base_name, params), sides in sorted(grouped.items()):
             if "new" in sides and "old" in sides:
                 new, old = sides["new"], sides["old"]
@@ -232,6 +249,40 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
         summary["correspondence_pairs"] = correspondence_pairs
         summary["geomean_correspondence_speedup"] = round(
             _geomean([pair["speedup"] for pair in correspondence_pairs]), 2
+        )
+    # The superposed sweep engine: sweep-vs-compiled pairs on the
+    # E3/E9/correspondence-shaped adversarial numbering sweeps.
+    sweep_pairs = [pair for pair in pairs if pair["file"] == "bench_sweep"]
+    if sweep_pairs:
+        sweep_speedups = [pair["speedup"] for pair in sweep_pairs]
+        summary["sweep_pairs"] = sweep_pairs
+        summary["min_sweep_speedup"] = min(sweep_speedups)
+        summary["max_sweep_speedup"] = max(sweep_speedups)
+        summary["geomean_sweep_speedup"] = round(_geomean(sweep_speedups), 2)
+    # One dedup entry per benchmark, not per runner side: both sides report
+    # the identical sweep work accounting.
+    dedup: dict[tuple, dict] = {}
+    sweep_new, sweep_old = _FILE_SIDES["bench_sweep"]
+    for test in benches.get("bench_sweep", {}).get("tests", []):
+        if "evaluations" not in test or "occurrences" not in test:
+            continue
+        key = _pair_key(test, sweep_new, sweep_old)
+        dedup.setdefault(
+            key,
+            {
+                "benchmark": key[0],
+                "params": dict(key[1]),
+                "instances": test.get("instances"),
+                "occurrences": test["occurrences"],
+                "evaluations": test["evaluations"],
+                "dedup_ratio": round(
+                    test["occurrences"] / max(test["evaluations"], 1), 1
+                ),
+            },
+        )
+    if dedup:
+        summary["sweep_dedup"] = sorted(
+            dedup.values(), key=lambda entry: -entry["dedup_ratio"]
         )
     sizes = []
     for test in benches.get("bench_correspondence", {}).get("tests", []):

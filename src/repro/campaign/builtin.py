@@ -49,6 +49,7 @@ def e3_hierarchy_spec() -> CampaignSpec:
         ],
         port_strategies=["consistent", "random", "random-consistent"],
         model_classes=["SB", "MB", "VB", "MV", "SV", "VV"],
+        engines=["sweep"],
         seeds=[0, 1],
         expectations={
             "some-odd-neighbour": True,
@@ -76,6 +77,7 @@ def e2_correspondence_spec() -> CampaignSpec:
         port_strategies=["consistent", "random"],
         model_classes=["SB", "MB", "VB", "MV", "SV", "VV"],
         machines=["parity"],
+        engines=["sweep"],
         seeds=[0, 1],
     )
 
@@ -107,6 +109,7 @@ def smoke_spec() -> CampaignSpec:
         ],
         port_strategies=["consistent", "random"],
         model_classes=["SB", "MB"],
+        engines=["sweep"],
         seeds=[0],
         expectations={"some-odd-neighbour": True, "neighbour-degree-sum": True},
     )

@@ -19,10 +19,12 @@ APIs rather than per-instance calls:
   and reused across the scenarios of a batch.
 
 Everything a worker needs travels as a :class:`~repro.campaign.spec.Scenario`
-(primitives only); graphs are regenerated in-worker from the family registry,
-with a per-shard cache keyed by the graph point.  Records are deterministic
-functions of their scenario, which is why a sharded run's manifest digest is
-byte-identical to a serial run's.
+(primitives only); graphs, algorithms, formula sets and machine formulas are
+regenerated in-worker from the registries, with a per-worker memo keyed by
+scenario content so successive chunks (and campaigns) of one process never
+rebuild the same witness graph twice.  Records are deterministic functions of
+their scenario, which is why a sharded run's manifest digest is byte-identical
+to a serial run's.
 """
 
 from __future__ import annotations
@@ -37,14 +39,17 @@ from typing import Any
 from repro.campaign import registry
 from repro.campaign.spec import CampaignSpec, Scenario, content_digest
 from repro.campaign.store import ResultStore
-from repro.execution.engine import run_iter
+from repro.execution.engine import logic_engine_for, run_iter
 from repro.graphs.graph import Graph
 from repro.graphs.ports import PortNumbering
 from repro.logic.bisimulation import bisimilarity_partition
 from repro.logic.engine import check_many
+from repro.machines.fastpath import fast_path
 from repro.machines.models import ProblemClass
+from repro.machines.state_machine import algorithm_from_machine
 from repro.modal.algorithm_to_formula import formula_for_machine
 from repro.modal.correspondence import machine_roundtrip_report
+from repro.modal.formula_to_algorithm import algorithm_for_formula
 from repro.modal.encoding import KripkeVariant, kripke_encoding, variant_for_class
 
 #: Node budget of the Table 4/5 construction for campaign scenarios.  High
@@ -84,24 +89,104 @@ def canonical_value(value: Any) -> Any:
 # Scenario evaluation
 # --------------------------------------------------------------------------- #
 
+#: Per-worker memo of materialized registry objects, keyed by scenario
+#: content (graph points, algorithm/formula-set names, machine formula
+#: coordinates).  Registry objects are deterministic functions of those keys,
+#: so the memo is sound across chunks, campaigns and ``run_campaign`` calls
+#: within one process -- a shard no longer rebuilds the same witness graph
+#: (or re-enumerates the same Table 4/5 formula) for every chunk it
+#: evaluates.  Lives at module level so each multiprocessing worker owns one.
+#: Each memo is bounded: on overflow it is simply cleared (the campaign
+#: working sets are far below the caps; the bound only protects long-lived
+#: processes sweeping unbounded distinct scenarios from monotonic growth).
+_WORKER_GRAPHS: dict[tuple, Graph] = {}
+_WORKER_ALGORITHMS: dict[str, Any] = {}
+_WORKER_FORMULA_SETS: dict[str, Any] = {}
+_WORKER_MACHINE_FORMULAS: dict[tuple, Any] = {}
 
-def _materialize(
-    scenario: Scenario, graph_cache: dict[tuple, Graph]
-) -> tuple[Graph, PortNumbering]:
+_WORKER_MEMO_LIMIT = 512
+#: Machine formulas can be CORRESPONDENCE_NODE_BUDGET-sized; keep fewer.
+_WORKER_FORMULA_LIMIT = 64
+#: Reset a memoized wrapper's interning tables past this many configurations:
+#: the warm-table win is for small-machine workloads whose tables plateau;
+#: history-accumulating algorithms never repeat a configuration, and without
+#: a bound their tables would grow for the worker's whole lifetime.
+_WORKER_CONFIG_LIMIT = 200_000
+
+
+def _memo_put(memo: dict, key: Any, value: Any, limit: int = _WORKER_MEMO_LIMIT) -> Any:
+    if len(memo) >= limit:
+        memo.clear()
+    memo[key] = value
+    return value
+
+
+@registry.on_registry_change
+def clear_worker_memo() -> None:
+    """Drop the per-worker registry memo.
+
+    Registered as a registry invalidation hook, so re-registering a family,
+    algorithm, formula set or machine under an existing name takes effect on
+    the next scenario instead of silently serving the memoized old object.
+    """
+    _WORKER_GRAPHS.clear()
+    _WORKER_ALGORITHMS.clear()
+    _WORKER_FORMULA_SETS.clear()
+    _WORKER_MACHINE_FORMULAS.clear()
+
+
+def _materialize(scenario: Scenario) -> tuple[Graph, PortNumbering]:
     point = scenario.graph_point()
-    graph = graph_cache.get(point)
+    graph = _WORKER_GRAPHS.get(point)
     if graph is None:
-        graph = graph_cache[point] = registry.build_graph(
-            scenario.family, dict(scenario.graph_params), seed=scenario.seed
+        graph = _memo_put(
+            _WORKER_GRAPHS,
+            point,
+            registry.build_graph(
+                scenario.family, dict(scenario.graph_params), seed=scenario.seed
+            ),
         )
     numbering = registry.build_numbering(scenario.port_strategy, graph, scenario.seed)
     return graph, numbering
 
 
-def _execution_records(
-    scenarios: list[Scenario], graph_cache: dict[tuple, Graph]
-) -> dict[str, dict[str, Any]]:
-    """Evaluate execution scenarios, batched per algorithm through run_iter."""
+def _worker_algorithm(name: str) -> Any:
+    # The memo holds the fast-path wrapper, not the bare algorithm: the
+    # wrapper owns the projection/transition caches and the sweep engine's
+    # interning tables, so successive chunks (run_iter and run_sweep are
+    # idempotent on an already-memoizing wrapper) reuse warm tables instead
+    # of re-interning every configuration per chunk.
+    algorithm = _WORKER_ALGORITHMS.get(name)
+    if algorithm is None:
+        algorithm = _memo_put(
+            _WORKER_ALGORITHMS,
+            name,
+            fast_path(registry.build_algorithm(name), memoize_transitions=True),
+        )
+    tables = algorithm.sweep_tables
+    if (
+        (tables is not None and len(tables.configs) > _WORKER_CONFIG_LIMIT)
+        or len(algorithm.transition_cache or ()) > _WORKER_CONFIG_LIMIT
+        or algorithm.cache_size > _WORKER_CONFIG_LIMIT
+    ):
+        algorithm.clear_cache()
+    return algorithm
+
+
+def _worker_formula_set(name: str) -> Any:
+    fset = _WORKER_FORMULA_SETS.get(name)
+    if fset is None:
+        fset = _memo_put(_WORKER_FORMULA_SETS, name, registry.formula_set(name))
+    return fset
+
+
+def _execution_records(scenarios: list[Scenario]) -> dict[str, dict[str, Any]]:
+    """Evaluate execution scenarios, batched per algorithm through run_iter.
+
+    ``engine="sweep"`` scenarios (the builtin default) execute the whole
+    group superposed -- one transition evaluation per distinct configuration
+    across all the numberings of a graph point.
+    """
     groups: dict[tuple[str, str, int], list[Scenario]] = {}
     for scenario in scenarios:
         key = (scenario.algorithm or "", scenario.engine, scenario.max_rounds)
@@ -109,10 +194,10 @@ def _execution_records(
 
     records: dict[str, dict[str, Any]] = {}
     for (algorithm_name, engine, max_rounds), group in sorted(groups.items()):
-        algorithm = registry.build_algorithm(algorithm_name)
-        instances = [_materialize(scenario, graph_cache) for scenario in group]
+        algorithm = _worker_algorithm(algorithm_name)
+        instances = [_materialize(scenario) for scenario in group]
         started = time.perf_counter()
-        results = run_iter(
+        stream = run_iter(
             algorithm,
             instances,
             max_rounds=max_rounds,
@@ -120,9 +205,23 @@ def _execution_records(
             engine=engine,
             memoize_transitions=True,
         )
+        if engine == "sweep":
+            # The sweep engine executes the whole group as one superposed
+            # batch, so per-scenario wall time is apportioned evenly --
+            # recording the stream gaps would charge the entire batch to its
+            # first record.  The lazy compiled/reference streams below keep
+            # genuine per-scenario timings.
+            results = list(stream)
+            apportioned = (time.perf_counter() - started) / max(len(group), 1)
+        else:
+            results = stream
+            apportioned = None
         for scenario, (graph, _), result in zip(group, instances, results):
-            elapsed = time.perf_counter() - started
-            started = time.perf_counter()
+            if apportioned is None:
+                elapsed = time.perf_counter() - started
+                started = time.perf_counter()
+            else:
+                elapsed = apportioned
             outputs = [
                 [repr(node), canonical_value(result.outputs[node])]
                 for node in graph.nodes
@@ -140,18 +239,16 @@ def _execution_records(
     return records
 
 
-def _logic_record(
-    scenario: Scenario, graph_cache: dict[tuple, Graph]
-) -> dict[str, Any]:
+def _logic_record(scenario: Scenario) -> dict[str, Any]:
     """Evaluate one logic scenario: check_many + bisimilarity invariance."""
     started = time.perf_counter()
-    graph, numbering = _materialize(scenario, graph_cache)
+    graph, numbering = _materialize(scenario)
     if scenario.model_class is not None:
         variant = variant_for_class(ProblemClass(scenario.model_class))
     else:
         variant = KripkeVariant.NEITHER
     encoding = kripke_encoding(graph, numbering, variant=variant)
-    fset = registry.formula_set(scenario.formula_set or "")
+    fset = _worker_formula_set(scenario.formula_set or "")
     formulas = fset.build(encoding.indices)
     truths = check_many(encoding, formulas, engine=scenario.engine)
     partition = bisimilarity_partition(encoding, graded=fset.graded, engine=scenario.engine)
@@ -180,25 +277,23 @@ def _logic_record(
     return _record(scenario, payload, time.perf_counter() - started)
 
 
-def _correspondence_record(
-    scenario: Scenario,
-    graph_cache: dict[tuple, Graph],
-    formula_cache: dict[tuple, Any],
-) -> dict[str, Any]:
+def _correspondence_record(scenario: Scenario) -> dict[str, Any]:
     """Evaluate one correspondence scenario: the Theorem 2 round trip.
 
-    The Table 4/5 formula of a ``(machine, class, Delta)`` coordinate is
-    built once per batch (``formula_cache``) -- the hash-consed pool dedups
-    the nodes anyway, but skipping the spec enumeration is what keeps a
+    The Table 4/5 formula *and* the three round-trip algorithms of a
+    ``(machine, class, Delta, engine)`` coordinate are built once per worker
+    (``_WORKER_MACHINE_FORMULAS``) -- the hash-consed pool dedups the formula
+    nodes anyway, but skipping the spec enumeration and reusing the wrapped
+    algorithms (with their warm fast-path/sweep tables) is what keeps a
     sweep over many numberings of one graph family cheap.
     """
     started = time.perf_counter()
-    graph, numbering = _materialize(scenario, graph_cache)
+    graph, numbering = _materialize(scenario)
     problem_class = ProblemClass(scenario.model_class)
     workload = registry.machine_workload(scenario.machine or registry.DEFAULT_MACHINE)
     delta = max(graph.max_degree(), 1)
-    key = (workload.name, problem_class.value, delta)
-    cached = formula_cache.get(key)
+    key = (workload.name, problem_class.value, delta, scenario.engine)
+    cached = _WORKER_MACHINE_FORMULAS.get(key)
     if cached is None:
         machine = workload.build(problem_class, delta)
         formula = formula_for_machine(
@@ -207,17 +302,33 @@ def _correspondence_record(
             workload.running_time,
             max_formula_nodes=CORRESPONDENCE_NODE_BUDGET,
         )
-        cached = formula_cache[key] = (machine, formula)
-    machine, formula = cached
+        logic_engine = logic_engine_for(scenario.engine)
+        algorithms = (
+            fast_path(algorithm_from_machine(machine.as_state_machine()),
+                      memoize_transitions=True),
+            fast_path(algorithm_for_formula(formula, problem_class, engine=logic_engine),
+                      memoize_transitions=True),
+            algorithm_for_formula(formula, problem_class, engine="reference")
+            if scenario.engine != "reference"
+            else None,
+        )
+        cached = _memo_put(
+            _WORKER_MACHINE_FORMULAS,
+            key,
+            (machine, formula, algorithms),
+            limit=_WORKER_FORMULA_LIMIT,
+        )
+    machine, formula, algorithms = cached
     report = machine_roundtrip_report(
         machine,
         problem_class,
         workload.running_time,
         pairs=[(graph, numbering)],
         engine=scenario.engine,
-        cross_check=scenario.engine == "compiled",
+        cross_check=scenario.engine != "reference",
         max_rounds=scenario.max_rounds,
         formula=formula,
+        algorithms=algorithms,
     )
     payload = {
         "nodes": graph.number_of_nodes,
@@ -240,17 +351,13 @@ def _record(scenario: Scenario, payload: dict[str, Any], elapsed: float) -> dict
 
 def evaluate_scenarios(scenarios: list[Scenario]) -> list[dict[str, Any]]:
     """Evaluate a batch of scenarios, returning records in scenario order."""
-    graph_cache: dict[tuple, Graph] = {}
-    formula_cache: dict[tuple, Any] = {}
     execution = [scenario for scenario in scenarios if scenario.kind == "execution"]
-    records = _execution_records(execution, graph_cache)
+    records = _execution_records(execution)
     for scenario in scenarios:
         if scenario.kind == "logic":
-            records[scenario.content_hash()] = _logic_record(scenario, graph_cache)
+            records[scenario.content_hash()] = _logic_record(scenario)
         elif scenario.kind == "correspondence":
-            records[scenario.content_hash()] = _correspondence_record(
-                scenario, graph_cache, formula_cache
-            )
+            records[scenario.content_hash()] = _correspondence_record(scenario)
     return [records[scenario.content_hash()] for scenario in scenarios]
 
 
@@ -352,8 +459,11 @@ def run_campaign(
             shards = [pending[i::shard_count] for i in range(shard_count)]
             with multiprocessing.Pool(shard_count) as pool:
                 for shard_records in pool.imap_unordered(_run_shard, shards):
-                    for record in shard_records:
-                        store.put(record, overwrite=not resume)
+                    # One index flush per completed shard: a run that dies
+                    # between shards resumes with a warm index, and the
+                    # object files alone still carry the resume if it dies
+                    # mid-flush (the index is pure acceleration).
+                    store.put_many(shard_records, overwrite=not resume)
         else:
             for start in range(0, len(pending), SERIAL_CHUNK):
                 for record in evaluate_scenarios(pending[start : start + SERIAL_CHUNK]):

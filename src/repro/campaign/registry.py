@@ -117,7 +117,46 @@ def _lift_family(base: str = "cycle", k: int = 2, seed: int | None = None, **par
     )
 
 
-GRAPH_FAMILIES: dict[str, GraphFamily] = {}
+#: Hooks invoked whenever a registry mutates (the campaign executor
+#: registers its per-worker materialized-object memo here, so replacing a
+#: registration invalidates the memo instead of silently serving the old
+#: object).
+_INVALIDATION_HOOKS: list[Callable[[], None]] = []
+
+
+def on_registry_change(hook: Callable[[], None]) -> Callable[[], None]:
+    """Register a hook to run after any registry entry is added or replaced."""
+    _INVALIDATION_HOOKS.append(hook)
+    return hook
+
+
+class Registry(dict):
+    """A plain dict that notifies the invalidation hooks on every mutation."""
+
+    @staticmethod
+    def _notifying(method_name: str):
+        method = getattr(dict, method_name)
+
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            result = method(self, *args, **kwargs)
+            for hook in _INVALIDATION_HOOKS:
+                hook()
+            return result
+
+        wrapper.__name__ = method_name
+        return wrapper
+
+    __setitem__ = _notifying.__func__("__setitem__")
+    __delitem__ = _notifying.__func__("__delitem__")
+    __ior__ = _notifying.__func__("__ior__")
+    update = _notifying.__func__("update")
+    pop = _notifying.__func__("pop")
+    popitem = _notifying.__func__("popitem")
+    clear = _notifying.__func__("clear")
+    setdefault = _notifying.__func__("setdefault")
+
+
+GRAPH_FAMILIES: dict[str, GraphFamily] = Registry()
 
 
 def register_graph_family(family: GraphFamily) -> GraphFamily:
@@ -296,7 +335,8 @@ def build_numbering(strategy: str, graph: Graph, seed: int) -> PortNumbering:
 # Algorithms
 # --------------------------------------------------------------------------- #
 
-ALGORITHMS: dict[str, Callable[[], Algorithm]] = {
+ALGORITHMS: dict[str, Callable[[], Algorithm]] = Registry()
+ALGORITHMS.update({
     "constant": ConstantAlgorithm,
     "degree": DegreeAlgorithm,
     "some-odd-neighbour": SomeOddNeighbourAlgorithm,
@@ -306,7 +346,7 @@ ALGORITHMS: dict[str, Callable[[], Algorithm]] = {
     "gather-degrees": GatherDegreesAlgorithm,
     "leaf-election": LeafElectionAlgorithm,
     "port-echo": PortEchoAlgorithm,
-}
+})
 
 #: The representative algorithm a model-class sweep runs for each class.
 #: These are the same workloads the E2/E3 experiments exercise per class.
@@ -369,7 +409,8 @@ def _gml_basic(indices: Iterable[Any]) -> list[Formula]:
     return formulas
 
 
-FORMULA_SETS: dict[str, FormulaSet] = {
+FORMULA_SETS: dict[str, FormulaSet] = Registry()
+FORMULA_SETS.update({
     "ml-basic": FormulaSet(
         "ml-basic", _ml_basic, graded=False, description="diamonds over degree propositions"
     ),
@@ -379,7 +420,7 @@ FORMULA_SETS: dict[str, FormulaSet] = {
         graded=True,
         description="ml-basic plus graded diamonds (grade 2)",
     ),
-}
+})
 
 
 def formula_set(name: str) -> FormulaSet:
@@ -411,7 +452,8 @@ class MachineWorkload:
     description: str = ""
 
 
-MACHINES: dict[str, MachineWorkload] = {
+MACHINES: dict[str, MachineWorkload] = Registry()
+MACHINES.update({
     "parity": MachineWorkload(
         "parity",
         lambda problem_class, delta: reference_machine(problem_class, delta, rounds=1),
@@ -424,7 +466,7 @@ MACHINES: dict[str, MachineWorkload] = {
         running_time=2,
         description="two-round XOR-of-predicates machine (modal depth 2)",
     ),
-}
+})
 
 #: The machine a correspondence spec sweeps when its ``machines`` axis is
 #: empty (works for every model class).

@@ -326,7 +326,13 @@ class CampaignSpec:
                     f"in campaign {self.name!r}; expected: {', '.join(sorted(allowed))}"
                 )
         check("port strategy", self.port_strategies, registry.PORT_STRATEGIES)
-        check("engine", self.engines, ("compiled", "reference"))
+        # The superposed sweep engine only exists on the execution side;
+        # logic scenarios route their engine to the model checker, which
+        # knows the compiled/reference pair.
+        if self.kind == "logic":
+            check("engine", self.engines, ("compiled", "reference"))
+        else:
+            check("engine", self.engines, ("sweep", "compiled", "reference"))
         check("model class", self.model_classes, registry.MODEL_DEFAULT_ALGORITHMS)
         check("algorithm", self.algorithms, registry.ALGORITHMS)
         check("formula set", self.formula_sets, registry.FORMULA_SETS)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
 
@@ -81,6 +82,24 @@ class ResultStore:
         self._atomic_write(path, json.dumps(record, indent=2, sort_keys=True))
         self.index[scenario_hash] = record_digest(record)
         return True
+
+    def put_many(self, records: Iterable[dict[str, Any]], overwrite: bool = False) -> int:
+        """Store a batch of records, flushing the index once at the end.
+
+        This is the per-shard persistence path of the campaign executor.
+        ``put`` never flushes, so the flush cadence is entirely the caller's:
+        one ``save_index`` per batch keeps the index durable shard by shard
+        (a run that dies between shards resumes with a warm index) without
+        rewriting it per record or per chunk.  The object files land record
+        by record regardless -- each one atomic, each one enough for a later
+        resume on its own.  Returns the number of records actually written.
+        """
+        written = 0
+        for record in records:
+            if self.put(record, overwrite=overwrite):
+                written += 1
+        self.save_index()
+        return written
 
     def get(self, scenario_hash: str) -> dict[str, Any]:
         path = self._object_path(scenario_hash)

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.execution.adversary import port_numberings_to_check
-from repro.execution.engine import run_iter
+from repro.execution.engine import logic_engine_for, run_iter
 from repro.execution.runner import run
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
@@ -56,7 +56,7 @@ class ContainmentEvidence:
         exhaustive_limit: int = 200,
         samples: int = 10,
         workers: int | None = None,
-        engine: str = "compiled",
+        engine: str = "sweep",
         memoize_transitions: bool = True,
     ) -> bool:
         """Check that the simulation preserves solution validity on the inputs.
@@ -67,8 +67,10 @@ class ContainmentEvidence:
         (or under any numbering sharing its output-port assignment, which is
         the guarantee Theorem 8 actually gives).
 
-        The adversarial sweep runs through the batch engine; a simulation
-        that fails to halt counts as a failed verification.
+        The adversarial sweep runs superposed through the sweep engine by
+        default (``engine`` selects the per-instance compiled loop or the
+        seed runner as oracles); a simulation that fails to halt counts as a
+        failed verification.
         """
         for algorithm in algorithms:
             simulated = self.simulate(algorithm)
@@ -86,7 +88,11 @@ class ContainmentEvidence:
                     engine=engine,
                     memoize_transitions=memoize_transitions,
                 )
-                # run_iter is lazy: stop at the first invalid simulation run.
+                # Stop at the first invalid simulation run.  (The compiled
+                # and reference engines stream lazily, so the early return
+                # also skips executing the rest; the superposed sweep engine
+                # materializes the whole sweep up front and only the
+                # comparison work is skipped.)
                 for numbering, result in zip(numberings, results):
                     if not result.halted or not outputs_valid(graph, numbering, result.outputs):
                         return False
@@ -166,7 +172,7 @@ class SeparationEvidence:
         exhaustive_limit: int = 200,
         samples: int = 10,
         workers: int | None = None,
-        engine: str = "compiled",
+        engine: str = "sweep",
         memoize_transitions: bool = True,
     ) -> bool:
         """Membership in the larger class: the solver is valid on all inputs."""
@@ -196,17 +202,20 @@ class SeparationEvidence:
         self,
         graphs: Sequence[Graph] | None = None,
         workers: int | None = None,
-        engine: str = "compiled",
+        engine: str = "sweep",
     ) -> bool:
         """Replay the whole separation argument.
 
         ``engine`` selects both the execution runner and the logic backend,
         so the full argument can be A/B-checked against the seed
-        implementations.
+        implementations.  The logic layer has no superposed mode, so the
+        execution engines ``"sweep"`` and ``"compiled"`` both pair with the
+        compiled partition refinement.
         """
         test_graphs = list(graphs) if graphs is not None else [self.witness_graph]
+        logic_engine = logic_engine_for(engine)
         return (
-            self.witness_bisimilar(logic_engine=engine)
+            self.witness_bisimilar(logic_engine=logic_engine)
             and self.solutions_must_distinguish()
             and self.solver_succeeds(test_graphs, workers=workers, engine=engine)
         )

@@ -9,6 +9,9 @@
   differential-testing oracle and benchmark baseline.
 * :mod:`~repro.execution.trace` -- execution traces and message-size
   accounting used by the simulation-overhead experiments.
+* :mod:`~repro.execution.sweep` -- the superposed sweep executor: interned
+  states/messages and one transition evaluation per distinct configuration
+  across a whole batch of numberings of one topology.
 * :mod:`~repro.execution.adversary` -- adversarial execution over all (or
   sampled) port numberings of a graph.
 """
@@ -24,6 +27,7 @@ from repro.execution.engine import (
 )
 from repro.execution.runner import run
 from repro.execution.legacy import run_reference
+from repro.execution.sweep import SweepStats, run_sweep
 from repro.execution.trace import Trace, message_size
 from repro.execution.adversary import (
     outputs_over_port_numberings,
@@ -40,6 +44,8 @@ __all__ = [
     "run_iter",
     "run_many",
     "run_reference",
+    "run_sweep",
+    "SweepStats",
     "Trace",
     "message_size",
     "outputs_over_port_numberings",

@@ -23,7 +23,8 @@ from repro.graphs.ports import (
     random_port_numbering,
 )
 from repro.machines.algorithm import Algorithm
-from repro.execution.runner import DEFAULT_MAX_ROUNDS, ExecutionResult, run
+from repro.execution.runner import DEFAULT_MAX_ROUNDS, ExecutionResult
+from repro.execution.sweep import run_sweep
 
 #: If a graph has at most this many port numberings, enumerate them all.
 DEFAULT_EXHAUSTIVE_LIMIT = 2_000
@@ -61,23 +62,32 @@ def outputs_over_port_numberings(
     samples: int = 50,
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    engine: str = "sweep",
 ) -> list[tuple[PortNumbering, ExecutionResult]]:
     """Run ``algorithm`` on ``graph`` under every adversarial port numbering.
 
     Returns the list of ``(numbering, result)`` pairs, one per numbering
-    produced by :func:`port_numberings_to_check`.
+    produced by :func:`port_numberings_to_check`.  The whole sweep executes
+    through the superposed batch engine
+    (:func:`repro.execution.sweep.run_sweep`) by default; ``engine`` selects
+    the per-instance compiled loop or the seed runner as oracles.
     """
-    results = []
-    for numbering in port_numberings_to_check(
-        graph,
-        consistent_only=consistent_only,
-        exhaustive_limit=exhaustive_limit,
-        samples=samples,
-        seed=seed,
-    ):
-        result = run(algorithm, graph, numbering, max_rounds=max_rounds)
-        results.append((numbering, result))
-    return results
+    numberings = list(
+        port_numberings_to_check(
+            graph,
+            consistent_only=consistent_only,
+            exhaustive_limit=exhaustive_limit,
+            samples=samples,
+            seed=seed,
+        )
+    )
+    results = run_sweep(
+        algorithm,
+        [(graph, numbering) for numbering in numberings],
+        max_rounds=max_rounds,
+        engine=engine,
+    )
+    return list(zip(numberings, results))
 
 
 def distinct_outputs(
@@ -86,10 +96,17 @@ def distinct_outputs(
     consistent_only: bool = False,
     **kwargs: Any,
 ) -> set[tuple[tuple[Node, Any], ...]]:
-    """The set of distinct output assignments the adversary can force."""
+    """The set of distinct output assignments the adversary can force.
+
+    Output vectors are keyed in the graph's deterministic node order (the
+    same order every compiled instance uses), not by a ``repr`` sort of the
+    nodes -- two assignments are equal exactly when they agree node-by-node.
+    """
     outcomes = set()
+    node_order = graph.nodes
     for _numbering, result in outputs_over_port_numberings(
         algorithm, graph, consistent_only=consistent_only, **kwargs
     ):
-        outcomes.add(tuple(sorted(result.outputs.items(), key=lambda item: repr(item[0]))))
+        outputs = result.outputs
+        outcomes.add(tuple((node, outputs[node]) for node in node_order if node in outputs))
     return outcomes

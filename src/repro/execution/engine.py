@@ -479,8 +479,22 @@ def _finish(
 # Batch API
 # --------------------------------------------------------------------------- #
 
-#: Engine backends selectable by benchmarks and A/B tests.
-ENGINES = ("compiled", "reference")
+#: Engine backends selectable by benchmarks and A/B tests.  ``"sweep"`` is
+#: the superposed batch executor of :mod:`repro.execution.sweep`: identical
+#: results, one transition evaluation per distinct configuration across the
+#: whole batch.
+ENGINES = ("sweep", "compiled", "reference")
+
+
+def logic_engine_for(engine: str) -> str:
+    """The logic-layer backend paired with an execution engine.
+
+    The logic layer (model checker, partition refinement, formula-algorithm
+    compilation) has no superposed mode, so both ``"sweep"`` and
+    ``"compiled"`` pair with its compiled implementation; only
+    ``"reference"`` selects the seed oracles on both sides.
+    """
+    return "reference" if engine == "reference" else "compiled"
 
 
 def _run_one(
@@ -572,6 +586,10 @@ def run_iter(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "sweep" and record_trace:
+        # The superposed executor does not materialize per-instance traces;
+        # trace consumers transparently get the (identical) compiled loop.
+        engine = "compiled"
     items = list(instances)
     if inputs is None:
         per_inputs: list[dict[Node, Any] | None] = [None] * len(items)
@@ -581,6 +599,21 @@ def run_iter(
             raise ValueError(
                 f"inputs has {len(per_inputs)} entries for {len(items)} instances"
             )
+
+    if engine == "sweep":
+        # Superposed execution is already a batch-level optimization; the
+        # whole sweep runs in-process (``workers`` would split the arena and
+        # forfeit cross-instance deduplication).
+        from repro.execution.sweep import run_sweep
+
+        yield from run_sweep(
+            algorithm,
+            items,
+            max_rounds=max_rounds,
+            require_halt=require_halt,
+            inputs=per_inputs,
+        )
+        return
 
     if workers and workers > 1 and len(items) > 1:
         pool_size = min(workers, len(items))
@@ -641,9 +674,12 @@ def run_many(
         then be picklable.
     engine:
         ``"compiled"`` (default) uses this module's compiled active-set loop;
-        ``"reference"`` dispatches every instance to the seed reference
-        runner -- useful for differential testing and speedup benchmarks on
-        identical workloads.
+        ``"sweep"`` executes the whole batch superposed through
+        :func:`repro.execution.sweep.run_sweep` (one transition evaluation
+        per distinct configuration; ``workers`` is ignored and
+        ``record_trace`` falls back to the compiled loop); ``"reference"``
+        dispatches every instance to the seed reference runner -- useful for
+        differential testing and speedup benchmarks on identical workloads.
     memoize_transitions:
         Additionally memoize ``initial_state`` and ``transition`` across the
         whole batch (see :class:`~repro.machines.fastpath.FastPathAlgorithm`).

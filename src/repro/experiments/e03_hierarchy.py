@@ -33,16 +33,16 @@ _TEST_GRAPHS: tuple[Graph, ...] = (star_graph(3), path_graph(4), cycle_graph(4))
 
 
 def _containment_evidences(
-    workers: int | None = None, engine: str = "compiled"
+    workers: int | None = None, engine: str = "sweep"
 ) -> list[tuple[ContainmentEvidence, bool]]:
     """The three simulation constructions, checked on concrete inputs.
 
     The adversarial sweeps (simulation runs *and* the reference executions
-    the validity predicates compare against) go through the selected engine,
-    so benchmarks can time the compiled and the seed runner on the identical
-    workload.
+    the validity predicates compare against) go through the selected engine
+    -- superposed by default -- so benchmarks can time the sweep, compiled
+    and seed runners on the identical workload.
     """
-    if engine == "compiled":
+    if engine != "reference":
         # One memoizing fast-path wrapper per inner algorithm: the reference
         # executions the validity predicates need share projection and
         # transition caches across the whole adversarial sweep.
@@ -139,18 +139,18 @@ def _containment_evidences(
     return checked
 
 
-def verify_containments(engine: str = "compiled", workers: int | None = None) -> bool:
+def verify_containments(engine: str = "sweep", workers: int | None = None) -> bool:
     """Check the three simulation constructions (execution-bound workload).
 
     Exposed separately so benchmarks can time the adversarial execution
-    sweeps under either engine without the (engine-independent) bisimulation
+    sweeps under any engine without the (engine-independent) bisimulation
     work of the separation certificates.
     """
     return all(ok for _, ok in _containment_evidences(workers=workers, engine=engine))
 
 
 def build_classification(
-    workers: int | None = None, engine: str = "compiled"
+    workers: int | None = None, engine: str = "sweep"
 ) -> ClassificationReport:
     """Assemble and verify the full classification."""
     report = ClassificationReport()

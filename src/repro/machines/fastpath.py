@@ -57,6 +57,7 @@ class FastPathAlgorithm:
         "_transitions",
         "_initials",
         "_sends",
+        "sweep_tables",
     )
 
     def __init__(self, inner: Algorithm, memoize_transitions: bool = False) -> None:
@@ -70,10 +71,23 @@ class FastPathAlgorithm:
         self._transitions: dict[Any, Any] | None = {} if memoize_transitions else None
         self._initials: dict[int, Any] | None = {} if memoize_transitions else None
         self._sends: dict[Any, Any] | None = {} if memoize_transitions else None
+        # Dense-id interning tables owned by the superposed sweep executor
+        # (:mod:`repro.execution.sweep`), created there on first use; kept on
+        # the wrapper so successive sweeps of one algorithm share them.
+        self.sweep_tables: Any = None
 
     @property
     def memoizes_transitions(self) -> bool:
         return self._transitions is not None
+
+    def __getstate__(self) -> dict:
+        # Every slot besides the inner algorithm is a pure cache; drop them
+        # all on pickling (the sweep tables in particular hold non-picklable
+        # lazy-row builders) and rebuild empty on the other side.
+        return {"inner": self.inner, "memoize": self.memoizes_transitions}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["inner"], memoize_transitions=state["memoize"])
 
     # ------------------------------------------------------------------ #
     # Raw cache access for the execution engine, which inlines the lookups
@@ -157,6 +171,8 @@ class FastPathAlgorithm:
             self._initials.clear()
         if self._sends is not None:
             self._sends.clear()
+        if self.sweep_tables is not None:
+            self.sweep_tables.clear()
 
     @property
     def cache_size(self) -> int:

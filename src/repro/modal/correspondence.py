@@ -6,11 +6,13 @@ module provides the machinery to *check* such correspondences on concrete
 graph families: evaluate a formula in the class's Kripke encoding, run an
 algorithm under the adversarial port numberings, and compare.
 
-Both halves run on the batch engines: the adversarial executions stream
-through :func:`repro.execution.engine.run_iter` (lazy, so a disagreement
-stops the sweep early) and the formula side is evaluated by the compiled
-bitset model checker (:mod:`repro.logic.engine`), one compiled encoding per
-port numbering.
+Both halves run on the batch engines: the adversarial executions run
+superposed through the sweep engine (:mod:`repro.execution.sweep`, one
+transition evaluation per distinct configuration across all numberings of a
+graph) and the formula side is evaluated by the compiled bitset model
+checker (:mod:`repro.logic.engine`), one compiled encoding per port
+numbering.  The per-instance compiled loop and the seed runner remain
+selectable through ``engine`` as differential oracles.
 
 :func:`machine_roundtrip_report` is the full Theorem 2 pipeline in one call:
 a finite-state machine is compiled to its Table 4/5 formula (a hash-consed
@@ -30,7 +32,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.execution.adversary import port_numberings_to_check
-from repro.execution.engine import DEFAULT_MAX_ROUNDS, run_iter
+from repro.execution.engine import (
+    DEFAULT_MAX_ROUNDS,
+    ExecutionError,
+    logic_engine_for,
+    run_iter,
+)
 from repro.graphs.graph import Graph, Node
 from repro.graphs.ports import PortNumbering
 from repro.logic.engine import check_many
@@ -75,9 +82,16 @@ def _disagreements(
     """Lazily yield the inputs on which algorithm and formula disagree.
 
     Per graph, the adversarial numberings are enumerated once, the
-    executions run as one lazy ``run_iter`` batch (shared caches across the
-    sweep) and each result is compared against the formula's labelling in
-    the matching compiled Kripke encoding.
+    executions run superposed through the sweep engine (one transition
+    evaluation per distinct configuration across the numberings) and each
+    result is compared against the formula's labelling in the matching
+    compiled Kripke encoding.
+
+    The sweep engine materializes a whole graph's sweep up front, so
+    non-halting runs are collected with ``require_halt=False`` and re-raised
+    here *in numbering order* -- a disagreement on an earlier numbering is
+    still yielded before a later numbering's :class:`ExecutionError`,
+    exactly as the lazy per-instance stream behaved.
     """
     for graph in graphs:
         numberings = list(
@@ -92,8 +106,15 @@ def _disagreements(
             algorithm,
             [(graph, numbering) for numbering in numberings],
             max_rounds=max_rounds,
+            require_halt=False,
+            engine="sweep",
         )
         for numbering, result in zip(numberings, results):
+            if not result.halted:
+                raise ExecutionError(
+                    f"{algorithm.name} did not halt on {graph!r} "
+                    f"within {max_rounds} rounds"
+                )
             expected = formula_output(graph, numbering, formula, problem_class, delta=delta)
             actual = {node: 1 if result.outputs[node] == 1 else 0 for node in graph.nodes}
             if actual != expected:
@@ -222,7 +243,7 @@ def machine_roundtrip_report(
     running_time: int,
     graphs: Iterable[Graph] | None = None,
     pairs: Sequence[tuple[Graph, PortNumbering]] | None = None,
-    engine: str = "compiled",
+    engine: str = "sweep",
     cross_check: bool = True,
     exhaustive_limit: int = 500,
     samples: int = 20,
@@ -230,20 +251,27 @@ def machine_roundtrip_report(
     max_formula_nodes: int | None = DEFAULT_MAX_FORMULA_NODES,
     accepting_output: Any = 1,
     formula: Formula | None = None,
+    algorithms: tuple[Any, Any, Any] | None = None,
 ) -> RoundTripReport:
     """Run the full Theorem 2 round trip for one machine and report.
 
     Either ``graphs`` (each swept over its adversarial port numberings,
     consistent-only where the class requires it) or explicit
     ``(graph, numbering)`` ``pairs`` select the instances.  All three
-    fronts stream through the batch engines: one ``run_iter`` batch per
-    algorithm per graph, one compiled Kripke encoding per numbering for the
-    formula side.  ``engine`` selects the formula-algorithm and model-checker
-    backends; with ``cross_check=True`` and ``engine="compiled"`` the seed
+    fronts stream through the batch engines: one superposed adversarial
+    sweep per algorithm per graph (``engine="sweep"``, the default), one
+    compiled Kripke encoding per numbering for the formula side.  ``engine``
+    selects the execution backend (``"sweep"``, ``"compiled"`` or
+    ``"reference"``); the formula-algorithm and model-checker backends
+    follow it, with ``"sweep"`` mapping to their compiled implementations.
+    With ``cross_check=True`` and a non-reference engine the seed
     formula-algorithm additionally runs as a differential oracle.  Callers
     evaluating one machine over many instance batches may pass a
     pre-compiled ``formula`` (the campaign executor does) to skip the
-    Table 4/5 enumeration.
+    Table 4/5 enumeration, and/or pre-built ``algorithms`` -- an
+    ``(original, realized, oracle)`` triple matching this call's ``engine``
+    -- so the three fronts (and any fast-path/sweep tables living on them)
+    are reused across calls instead of recompiled per call.
     """
     if formula is None:
         formula = formula_for_machine(
@@ -267,13 +295,19 @@ def machine_roundtrip_report(
             "explicit (graph, numbering) 'pairs'; an empty round trip would "
             "report agreement vacuously"
         )
-    original = algorithm_from_machine(machine.as_state_machine())
-    realized = algorithm_for_formula(formula, problem_class, engine=engine)
-    oracle = (
-        algorithm_for_formula(formula, problem_class, engine="reference")
-        if cross_check and engine == "compiled"
-        else None
-    )
+    logic_engine = logic_engine_for(engine)
+    if algorithms is None:
+        original = algorithm_from_machine(machine.as_state_machine())
+        realized = algorithm_for_formula(formula, problem_class, engine=logic_engine)
+        oracle = (
+            algorithm_for_formula(formula, problem_class, engine="reference")
+            if cross_check and engine != "reference"
+            else None
+        )
+    else:
+        original, realized, oracle = algorithms
+        if not (cross_check and engine != "reference"):
+            oracle = None
 
     if pairs is not None:
         batches: list[tuple[Graph, list[PortNumbering]]] = []
@@ -323,7 +357,7 @@ def machine_roundtrip_report(
         for numbering, results in zip(numberings, zip(*streams)):
             report.instances += 1
             expected = formula_output(
-                graph, numbering, formula, problem_class, engine=engine
+                graph, numbering, formula, problem_class, engine=logic_engine
             )
             # The formula is the indicator of ``accepting_output``; the
             # realized algorithms genuinely output 0/1.

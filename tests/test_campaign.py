@@ -692,3 +692,156 @@ class TestCorrespondenceCampaigns:
         families = {s.family for s in scenarios}
         assert {"circulant", "torus", "lift"} <= families
         assert {s.model_class for s in scenarios} == {"SB", "MB", "VB", "MV", "SV", "VV"}
+
+
+class TestSweepEngineCampaigns:
+    """The superposed sweep engine as a first-class campaign engine value."""
+
+    def test_sweep_engine_matches_compiled_results(self, tmp_path):
+        compiled = CampaignSpec(
+            name="knob-sweep",
+            kind="execution",
+            graphs=[GraphGrid.of("cycle", {"n": 5}), GraphGrid.of("star", {"leaves": 3})],
+            port_strategies=["consistent", "random"],
+            model_classes=["MB", "MV"],
+            engines=["compiled"],
+        )
+        sweep = CampaignSpec.from_dict(dict(compiled.to_dict(), engines=["sweep"]))
+        run_campaign(compiled, tmp_path / "store")
+        run_campaign(sweep, tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        _, compiled_records = load_records(store, "knob-sweep")
+        for record in compiled_records:
+            twin = dict(record["scenario"], engine="sweep")
+            twin_record = store.get(Scenario.from_dict(twin).content_hash())
+            assert twin_record["result"]["outputs"] == record["result"]["outputs"]
+            assert twin_record["result"]["rounds"] == record["result"]["rounds"]
+
+    def test_sweep_engine_rejected_for_logic_campaigns(self):
+        spec = CampaignSpec(
+            name="bad",
+            kind="logic",
+            graphs=[GraphGrid.of("cycle", {"n": 4})],
+            model_classes=["SB"],
+            formula_sets=["ml-basic"],
+            engines=["sweep"],
+        )
+        with pytest.raises(ValueError, match="unknown engine"):
+            spec.expand()
+
+    def test_builtin_execution_campaigns_run_superposed(self):
+        for name in ("e3-hierarchy", "e2-correspondence", "smoke"):
+            assert builtin_spec(name).engines == ["sweep"], name
+
+    def test_sweep_sharded_manifest_matches_serial(self, tmp_path):
+        spec = tiny_spec("tiny-sweep")
+        spec.engines = ["sweep"]
+        serial = run_campaign(spec, tmp_path / "serial")
+        sharded = run_campaign(spec, tmp_path / "sharded", workers=3)
+        assert serial.manifest_digest == sharded.manifest_digest
+
+
+class TestIndexFlushAndRecovery:
+    """index.json is acceleration only: the object files carry the resume."""
+
+    def test_put_many_flushes_the_index_once(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "store")
+        scenarios = tiny_spec().expand()[:4]
+        records = evaluate_scenarios(scenarios)
+        flushes = {"n": 0}
+        real = ResultStore.save_index
+
+        def counting_save(self):
+            flushes["n"] += 1
+            return real(self)
+
+        monkeypatch.setattr(ResultStore, "save_index", counting_save)
+        assert store.put_many(records) == len(records)
+        assert flushes["n"] == 1
+        assert json.loads(store.index_path.read_text()).keys() == {
+            record["hash"] for record in records
+        }
+
+    def test_kill_mid_chunk_resumes_from_object_files_alone(self, tmp_path):
+        """A run killed mid-chunk leaves object files but no flushed index;
+        the objects alone must carry the resume and re-derive the index."""
+        spec = tiny_spec("killed")
+        scenarios = spec.expand()
+        store = ResultStore(tmp_path / "store")
+        for record in evaluate_scenarios(scenarios[:3]):
+            store.put(record)  # no save_index(): the process died mid-chunk
+        assert not store.index_path.exists()
+        fresh = ResultStore(tmp_path / "store")
+        resumed = run_campaign(spec, fresh)
+        assert resumed.skipped == 3
+        assert resumed.executed == len(scenarios) - 3
+        cold = run_campaign(spec.__class__.from_dict(spec.to_dict()), tmp_path / "cold")
+        assert resumed.manifest_digest == cold.manifest_digest
+        healed = json.loads(fresh.index_path.read_text())
+        assert len(healed) == len(scenarios)
+
+    def test_sharded_run_flushes_index_per_shard(self, tmp_path):
+        spec = tiny_spec("sharded-flush")
+        run_campaign(spec, tmp_path / "store", workers=2)
+        index = json.loads((tmp_path / "store" / "index.json").read_text())
+        assert len(index) == len(spec.expand())
+
+
+class TestWorkerMemo:
+    def test_graph_memo_is_reused_across_chunks(self, monkeypatch):
+        from repro.campaign import executor, registry
+
+        executor.clear_worker_memo()
+        builds = {"n": 0}
+        real = registry.build_graph
+
+        def counting_build(family, params, seed=None):
+            builds["n"] += 1
+            return real(family, params, seed=seed)
+
+        monkeypatch.setattr(executor.registry, "build_graph", counting_build)
+        try:
+            scenarios = tiny_spec("memo").expand()
+            distinct_points = {s.graph_point() for s in scenarios}
+            # Two chunks over the same scenarios: the second builds nothing.
+            executor.evaluate_scenarios(scenarios[: len(scenarios) // 2])
+            executor.evaluate_scenarios(scenarios[len(scenarios) // 2 :])
+            first = builds["n"]
+            assert first <= len(distinct_points)
+            executor.evaluate_scenarios(scenarios)
+            assert builds["n"] == first
+        finally:
+            executor.clear_worker_memo()
+
+    def test_algorithm_memo_keeps_warm_sweep_tables_across_chunks(self):
+        from repro.campaign import executor
+
+        executor.clear_worker_memo()
+        try:
+            spec = tiny_spec("warm-tables")
+            spec.engines = ["sweep"]
+            scenarios = spec.expand()
+            executor.evaluate_scenarios(scenarios[: len(scenarios) // 2])
+            wrapper = executor._worker_algorithm("some-odd-neighbour")
+            assert wrapper.memoizes_transitions
+            tables = wrapper.sweep_tables
+            assert tables is not None and tables.configs
+            executor.evaluate_scenarios(scenarios[len(scenarios) // 2 :])
+            # Same wrapper, same (warm) tables on the later chunk.
+            assert executor._worker_algorithm("some-odd-neighbour") is wrapper
+            assert wrapper.sweep_tables is tables
+        finally:
+            executor.clear_worker_memo()
+
+    def test_replacing_a_registration_invalidates_the_memo(self):
+        from repro.campaign import executor, registry
+
+        scenario = tiny_spec("memo-inval").expand()[0]
+        graph, _ = executor._materialize(scenario)
+        assert executor._WORKER_GRAPHS  # memoized
+        # Re-registering any entry (even an unrelated family) must drop the
+        # memo so the replacement is observed by the next scenario.
+        registry.register_graph_family(registry.GRAPH_FAMILIES["cycle"])
+        assert not executor._WORKER_GRAPHS
+        rebuilt, _ = executor._materialize(scenario)
+        assert rebuilt == graph
