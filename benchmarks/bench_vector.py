@@ -1,0 +1,207 @@
+"""Benchmark the NumPy vector kernel against the sweep and compiled engines.
+
+Two workload families, mirroring the two halves of the vector backend:
+
+* **E9-shaped adversarial sweeps** -- finite-state cyclic machines (the
+  shape where configuration tables saturate and the kernel's sort-free
+  packed-key fast path pays off) over hundreds of random port numberings
+  of one 3-regular graph, ``run_vector`` vs :func:`run_sweep`.  Broadcast
+  classes are deliberately absent: on no-input sweeps they collapse to a
+  handful of delivery-signature representatives, leaving nothing to
+  vectorise.
+* **10^4-world ``check_many`` batches** -- a modal/graded-heavy formula
+  batch over one sparse random Kripke model, ``engine="vector"`` (CSR
+  gather + cumsum modal operators) vs the compiled bitset checker.
+
+``benchmarks/run_all.py`` turns these pairs into ``vector_sweep_pairs`` /
+``vector_check_pairs`` and the ``geomean_vector_*_speedup`` headline
+numbers in ``BENCH_<date>.json``; CI asserts floors on the smoke-size
+geomeans (>= 3x sweeps, >= 5x check_many).  Skipped wholesale when NumPy
+is not installed -- the numpy-free CI lane proves the fallback story
+instead.  Set ``REPRO_BENCH_SMOKE=1`` for the tiny CI budget.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.execution.engine import compile_instance  # noqa: E402
+from repro.execution.sweep import SweepStats, run_sweep  # noqa: E402
+from repro.execution.vector import run_vector  # noqa: E402
+from repro.graphs.generators import random_regular_graph  # noqa: E402
+from repro.graphs.ports import random_port_numbering  # noqa: E402
+from repro.logic.engine import check_many  # noqa: E402
+from repro.logic.kripke import KripkeModel  # noqa: E402
+from repro.logic.syntax import (  # noqa: E402
+    And,
+    Box,
+    Diamond,
+    GradedDiamond,
+    Not,
+    Or,
+    Prop,
+)
+from repro.machines import MultisetAlgorithm, SetAlgorithm  # noqa: E402
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Sampled numberings / graph size / round budget of the sweep pairs.
+SWEEP_NODES = 96 if SMOKE else 256
+SWEEP_SAMPLES = 150 if SMOKE else 100
+SWEEP_ROUNDS = 32 if SMOKE else 48
+
+#: The check_many batch keeps its defining 10^4-world size even under
+#: smoke: the compiled side is only ~75ms/iteration and the speedup floor
+#: is calibrated at exactly this scale.
+CHECK_WORLDS = 10_000
+
+
+class _CyclicMixin:
+    """Finite-state machine: the honest sweep-benchmark shape.
+
+    A cyclic phase counter saturates the configuration tables after one
+    period, so both engines run memoised; the contest is pure per-round
+    dispatch.  (Probes that intern a fresh state every round defeat
+    memoisation in *both* engines and measure interning, not execution.)
+    """
+
+    PERIOD = 5
+
+    def initial_state(self, degree):
+        return (0, degree)
+
+    def send(self, state, port):
+        return (state[0], port)
+
+    def transition(self, state, received):
+        return ((state[0] + 1) % self.PERIOD, state[1])
+
+
+class CyclicMultisetAlgorithm(_CyclicMixin, MultisetAlgorithm):
+    pass
+
+
+class CyclicSetAlgorithm(_CyclicMixin, SetAlgorithm):
+    pass
+
+
+SWEEP_RUNNERS = ("vector", "sweep")
+
+SWEEP_ALGORITHMS = {
+    "MV (CyclicMultiset)": CyclicMultisetAlgorithm(),
+    "SV (CyclicSet)": CyclicSetAlgorithm(),
+}
+
+_GRAPH = random_regular_graph(3, SWEEP_NODES, seed=1)
+_rng = random.Random(0)
+SWEEP_INSTANCES = [
+    compile_instance((_GRAPH, random_port_numbering(_GRAPH, rng=_rng)))
+    for _ in range(SWEEP_SAMPLES)
+]
+
+
+def _run_sweep_side(runner: str, algorithm, instances):
+    if runner == "vector":
+        return run_vector(
+            algorithm, instances, require_halt=False, max_rounds=SWEEP_ROUNDS
+        )
+    return run_sweep(
+        algorithm, instances, require_halt=False, max_rounds=SWEEP_ROUNDS
+    )
+
+
+@pytest.mark.parametrize("runner", SWEEP_RUNNERS, ids=SWEEP_RUNNERS)
+@pytest.mark.parametrize("label", list(SWEEP_ALGORITHMS), ids=list(SWEEP_ALGORITHMS))
+def test_vector_adversarial_sweep(benchmark, label, runner):
+    algorithm = SWEEP_ALGORITHMS[label]
+    stats = SweepStats()
+    run_sweep(
+        algorithm,
+        SWEEP_INSTANCES,
+        require_halt=False,
+        max_rounds=SWEEP_ROUNDS,
+        stats=stats,
+    )
+    # Warm both sides' tables so the pair measures steady-state dispatch.
+    _run_sweep_side(runner, algorithm, SWEEP_INSTANCES)
+    benchmark.extra_info["instances"] = len(SWEEP_INSTANCES)
+    benchmark.extra_info["occurrences"] = stats.naive_occurrences
+    benchmark.extra_info["evaluations"] = stats.evaluations
+
+    results = benchmark(_run_sweep_side, runner, algorithm, SWEEP_INSTANCES)
+    assert len(results) == len(SWEEP_INSTANCES)
+    assert all(result.rounds == SWEEP_ROUNDS for result in results)
+
+
+# --------------------------------------------------------------------------- #
+# 10^4-world check_many batches: vector CSR kernel vs compiled bitsets
+# --------------------------------------------------------------------------- #
+
+
+def _sparse_random_model(n: int, seed: int = 3, out_deg: int = 6) -> KripkeModel:
+    rng = random.Random(seed)
+    worlds = range(n)
+    rel_a, rel_b = set(), set()
+    for u in worlds:
+        for _ in range(out_deg):
+            rel_a.add((u, rng.randrange(n)))
+        for _ in range(out_deg // 2):
+            rel_b.add((u, rng.randrange(n)))
+    valuation = {
+        "p": frozenset(w for w in worlds if rng.random() < 0.5),
+        "q": frozenset(w for w in worlds if rng.random() < 0.25),
+        "r": frozenset(w for w in worlds if rng.random() < 0.1),
+    }
+    return KripkeModel(
+        worlds=frozenset(worlds),
+        relations={"a": frozenset(rel_a), "b": frozenset(rel_b)},
+        valuation=valuation,
+    )
+
+
+def _formula_batch() -> list:
+    p, q, r = Prop("p"), Prop("q"), Prop("r")
+    batch = []
+    for idx in ("a", "b"):
+        batch += [
+            Diamond(p, index=idx),
+            Box(Or(p, q), index=idx),
+            GradedDiamond(p, 2, index=idx),
+            GradedDiamond(Not(q), 3, index=idx),
+            Diamond(Box(p, index=idx), index=idx),
+            And(Diamond(q, index=idx), Not(GradedDiamond(r, 1, index=idx))),
+            Box(Diamond(Or(q, r), index=idx), index=idx),
+            GradedDiamond(Diamond(p, index=idx), 4, index=idx),
+        ]
+    return batch
+
+
+CHECK_RUNNERS = ("vector", "compiled")
+CHECK_MODEL = _sparse_random_model(CHECK_WORLDS)
+CHECK_FORMULAS = _formula_batch()
+
+
+@pytest.mark.parametrize("runner", CHECK_RUNNERS, ids=CHECK_RUNNERS)
+def test_vector_check_many_batch(benchmark, runner):
+    # Warm both compiled forms (cached on the model) so the pair measures
+    # evaluation, not one-time compilation.
+    expected = check_many(CHECK_MODEL, CHECK_FORMULAS, engine="compiled")
+    assert check_many(CHECK_MODEL, CHECK_FORMULAS, engine="vector") == expected
+    benchmark.extra_info["worlds"] = CHECK_WORLDS
+    benchmark.extra_info["formulas"] = len(CHECK_FORMULAS)
+
+    # Explicit pedantic rounds: the smoke budget's max-time would otherwise
+    # sample so few rounds that one cold outlier owns the median.
+    results = benchmark.pedantic(
+        check_many,
+        args=(CHECK_MODEL, CHECK_FORMULAS),
+        kwargs={"engine": runner},
+        warmup_rounds=2,
+        rounds=10,
+    )
+    assert results == expected

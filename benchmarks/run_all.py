@@ -48,6 +48,10 @@ _OLD_VALUES = {"seed", "reference", "cold"}
 #: everywhere else), so its spellings are remapped locally.
 _FILE_SIDES = {
     "bench_sweep": ({"sweep"}, {"compiled", "reference"}),
+    # bench_vector pairs the NumPy kernel against whichever engine is the
+    # relevant oracle: sweep for the execution pairs, compiled for the
+    # check_many pairs.
+    "bench_vector": ({"vector"}, {"sweep", "compiled", "reference"}),
 }
 
 #: The modules the CI smoke path exercises (``--quick``): one engine-bound,
@@ -59,6 +63,7 @@ QUICK_MODULES = (
     "bench_execution",
     "bench_logic",
     "bench_sweep",
+    "bench_vector",
 )
 
 
@@ -93,6 +98,14 @@ def run_benchmark_file(path: Path, smoke: bool) -> tuple[dict, float]:
     started = time.perf_counter()
     proc = subprocess.run(command, cwd=REPO_ROOT, env=env, capture_output=True, text=True)
     wall = time.perf_counter() - started
+    if proc.returncode == 5:
+        # "No tests collected": the whole module skipped itself (e.g.
+        # bench_vector on a numpy-free box).  That is a valid outcome, not
+        # a failure -- report it as an empty module.
+        print(f"[run_all] {path.name}: skipped (no tests collected)", flush=True)
+        if os.path.exists(json_path):
+            os.unlink(json_path)
+        return {"benchmarks": []}, wall
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout + proc.stderr)
         raise SystemExit(f"benchmark {path.name} failed (exit {proc.returncode})")
@@ -259,6 +272,32 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
         summary["min_sweep_speedup"] = min(sweep_speedups)
         summary["max_sweep_speedup"] = max(sweep_speedups)
         summary["geomean_sweep_speedup"] = round(_geomean(sweep_speedups), 2)
+    # The vector kernel: vector-vs-sweep execution pairs and the
+    # vector-vs-compiled 10^4-world check_many pairs, each with its own
+    # geomean (CI asserts independent floors: >= 3x sweeps, >= 5x checks)
+    # plus the combined headline geomean.
+    vector_pairs = [pair for pair in pairs if pair["file"] == "bench_vector"]
+    if vector_pairs:
+        vector_sweep = [
+            pair for pair in vector_pairs if "sweep" in pair["benchmark"]
+        ]
+        vector_check = [
+            pair for pair in vector_pairs if "check" in pair["benchmark"]
+        ]
+        summary["vector_sweep_pairs"] = vector_sweep
+        summary["vector_check_pairs"] = vector_check
+        speedups = [pair["speedup"] for pair in vector_pairs]
+        summary["min_vector_speedup"] = min(speedups)
+        summary["max_vector_speedup"] = max(speedups)
+        summary["geomean_vector_speedup"] = round(_geomean(speedups), 2)
+        if vector_sweep:
+            summary["geomean_vector_sweep_speedup"] = round(
+                _geomean([pair["speedup"] for pair in vector_sweep]), 2
+            )
+        if vector_check:
+            summary["geomean_vector_check_speedup"] = round(
+                _geomean([pair["speedup"] for pair in vector_check]), 2
+            )
     # One dedup entry per benchmark, not per runner side: both sides report
     # the identical sweep work accounting.
     dedup: dict[tuple, dict] = {}

@@ -65,6 +65,7 @@ from repro.machines import (
     VectorAlgorithm,
 )
 from repro.machines.algorithm import Output
+from repro.engines import available_engines, resolve_engine
 from repro.execution import CompiledInstance, ExecutionResult, run, run_many
 from repro.logic import KripkeModel, extension, parse_formula, satisfies
 from repro.modal import algorithm_for_formula, formula_for_machine, kripke_encoding
@@ -126,6 +127,8 @@ __all__ = [
     "SetBroadcastAlgorithm",
     "VectorAlgorithm",
     "Output",
+    "available_engines",
+    "resolve_engine",
     "CompiledInstance",
     "ExecutionResult",
     "run",

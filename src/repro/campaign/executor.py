@@ -39,6 +39,7 @@ from typing import Any
 from repro.campaign import registry
 from repro.campaign.spec import CampaignSpec, Scenario, content_digest
 from repro.campaign.store import ResultStore
+from repro.engines.registry import resolve_engine
 from repro.execution.engine import logic_engine_for, run_iter
 from repro.graphs.graph import Graph
 from repro.graphs.ports import PortNumbering
@@ -164,8 +165,10 @@ def _worker_algorithm(name: str) -> Any:
             fast_path(registry.build_algorithm(name), memoize_transitions=True),
         )
     tables = algorithm.sweep_tables
+    vtables = algorithm.vector_tables
     if (
         (tables is not None and len(tables.configs) > _WORKER_CONFIG_LIMIT)
+        or (vtables is not None and vtables.config_count > _WORKER_CONFIG_LIMIT)
         or len(algorithm.transition_cache or ()) > _WORKER_CONFIG_LIMIT
         or algorithm.cache_size > _WORKER_CONFIG_LIMIT
     ):
@@ -183,9 +186,11 @@ def _worker_formula_set(name: str) -> Any:
 def _execution_records(scenarios: list[Scenario]) -> dict[str, dict[str, Any]]:
     """Evaluate execution scenarios, batched per algorithm through run_iter.
 
-    ``engine="sweep"`` scenarios (the builtin default) execute the whole
-    group superposed -- one transition evaluation per distinct configuration
-    across all the numberings of a graph point.
+    Batched engines (``"sweep"``, the builtin default, and ``"vector"``)
+    execute the whole group through one kernel invocation -- one transition
+    evaluation per distinct configuration across all the numberings of a
+    graph point, and for ``"vector"`` one array pass per round over every
+    representative of a graph family at once.
     """
     groups: dict[tuple[str, str, int], list[Scenario]] = {}
     for scenario in scenarios:
@@ -205,12 +210,13 @@ def _execution_records(scenarios: list[Scenario]) -> dict[str, dict[str, Any]]:
             engine=engine,
             memoize_transitions=True,
         )
-        if engine == "sweep":
-            # The sweep engine executes the whole group as one superposed
-            # batch, so per-scenario wall time is apportioned evenly --
-            # recording the stream gaps would charge the entire batch to its
-            # first record.  The lazy compiled/reference streams below keep
-            # genuine per-scenario timings.
+        if resolve_engine(engine).batched:
+            # Batched engines (sweep, vector) execute the whole group as one
+            # superposed/vectorized batch, so per-scenario wall time is
+            # apportioned evenly -- recording the stream gaps would charge
+            # the entire batch to its first record.  The lazy
+            # compiled/reference streams below keep genuine per-scenario
+            # timings.
             results = list(stream)
             apportioned = (time.perf_counter() - started) / max(len(group), 1)
         else:

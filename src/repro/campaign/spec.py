@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.campaign import registry
+from repro.engines.registry import engine_names
 
 #: Scenario kinds: run a distributed algorithm, model-check an encoding, or
 #: round-trip a finite-state machine through the Theorem 2 pipeline.
@@ -326,13 +327,15 @@ class CampaignSpec:
                     f"in campaign {self.name!r}; expected: {', '.join(sorted(allowed))}"
                 )
         check("port strategy", self.port_strategies, registry.PORT_STRATEGIES)
-        # The superposed sweep engine only exists on the execution side;
-        # logic scenarios route their engine to the model checker, which
-        # knows the compiled/reference pair.
+        # The engine axis is validated against the shared registry: logic
+        # scenarios accept the model-checking engines, execution scenarios
+        # the sweep-capable ones.  Availability (e.g. numpy for "vector")
+        # is probed at execution time, not here: a spec is a portable
+        # document and must expand identically on every machine.
         if self.kind == "logic":
-            check("engine", self.engines, ("compiled", "reference"))
+            check("engine", self.engines, engine_names(requires={"logic"}))
         else:
-            check("engine", self.engines, ("sweep", "compiled", "reference"))
+            check("engine", self.engines, engine_names(requires={"sweep"}))
         check("model class", self.model_classes, registry.MODEL_DEFAULT_ALGORITHMS)
         check("algorithm", self.algorithms, registry.ALGORITHMS)
         check("formula set", self.formula_sets, registry.FORMULA_SETS)

@@ -12,6 +12,9 @@
 * :mod:`~repro.execution.sweep` -- the superposed sweep executor: interned
   states/messages and one transition evaluation per distinct configuration
   across a whole batch of numberings of one topology.
+* :mod:`~repro.execution.vector` -- the NumPy vector kernel: the sweep
+  semantics as batched array passes over the interned configuration table
+  (``engine="vector"``; optional dependency).
 * :mod:`~repro.execution.adversary` -- adversarial execution over all (or
   sampled) port numberings of a graph.
 """
@@ -29,12 +32,15 @@ from repro.execution.runner import run
 from repro.execution.legacy import run_reference
 from repro.execution.sweep import SweepStats, run_sweep
 from repro.execution.trace import Trace, message_size
+from repro.execution.vector import run_vector
 from repro.execution.adversary import (
+    AdversarialOutcome,
     outputs_over_port_numberings,
     port_numberings_to_check,
 )
 
 __all__ = [
+    "AdversarialOutcome",
     "CompiledInstance",
     "ExecutionError",
     "ExecutionResult",
@@ -45,6 +51,7 @@ __all__ = [
     "run_many",
     "run_reference",
     "run_sweep",
+    "run_vector",
     "SweepStats",
     "Trace",
     "message_size",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterator
+from dataclasses import dataclass
 from typing import Any
 
 from repro.graphs.graph import Graph, Node
@@ -28,6 +29,23 @@ from repro.execution.sweep import run_sweep
 
 #: If a graph has at most this many port numberings, enumerate them all.
 DEFAULT_EXHAUSTIVE_LIMIT = 2_000
+
+
+@dataclass(frozen=True)
+class AdversarialOutcome:
+    """One adversarial execution: the port numbering and what it produced.
+
+    Unpacks as a ``(numbering, result)`` pair, so existing
+    ``for numbering, result in ...`` loops keep working.
+    """
+
+    #: The port numbering the adversary chose.
+    numbering: PortNumbering
+    #: The execution of the algorithm under that numbering.
+    result: ExecutionResult
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.numbering, self.result))
 
 
 def port_numberings_to_check(
@@ -63,14 +81,15 @@ def outputs_over_port_numberings(
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     engine: str = "sweep",
-) -> list[tuple[PortNumbering, ExecutionResult]]:
+) -> list[AdversarialOutcome]:
     """Run ``algorithm`` on ``graph`` under every adversarial port numbering.
 
-    Returns the list of ``(numbering, result)`` pairs, one per numbering
-    produced by :func:`port_numberings_to_check`.  The whole sweep executes
-    through the superposed batch engine
-    (:func:`repro.execution.sweep.run_sweep`) by default; ``engine`` selects
-    the per-instance compiled loop or the seed runner as oracles.
+    Returns one :class:`AdversarialOutcome` per numbering produced by
+    :func:`port_numberings_to_check` (each unpacks as a
+    ``(numbering, result)`` pair).  The whole sweep executes through the
+    superposed batch engine (:func:`repro.execution.sweep.run_sweep`) by
+    default; ``engine`` selects the vectorized kernel, the per-instance
+    compiled loop or the seed runner as oracles.
     """
     numberings = list(
         port_numberings_to_check(
@@ -87,7 +106,10 @@ def outputs_over_port_numberings(
         max_rounds=max_rounds,
         engine=engine,
     )
-    return list(zip(numberings, results))
+    return [
+        AdversarialOutcome(numbering=numbering, result=result)
+        for numbering, result in zip(numberings, results)
+    ]
 
 
 def distinct_outputs(

@@ -479,22 +479,20 @@ def _finish(
 # Batch API
 # --------------------------------------------------------------------------- #
 
-#: Engine backends selectable by benchmarks and A/B tests.  ``"sweep"`` is
-#: the superposed batch executor of :mod:`repro.execution.sweep`: identical
-#: results, one transition evaluation per distinct configuration across the
-#: whole batch.
-ENGINES = ("sweep", "compiled", "reference")
+from repro.engines.registry import (  # noqa: E402  (re-exported knob helpers)
+    engine_names,
+    logic_engine_for,
+    resolve_engine,
+)
 
-
-def logic_engine_for(engine: str) -> str:
-    """The logic-layer backend paired with an execution engine.
-
-    The logic layer (model checker, partition refinement, formula-algorithm
-    compilation) has no superposed mode, so both ``"sweep"`` and
-    ``"compiled"`` pair with its compiled implementation; only
-    ``"reference"`` selects the seed oracles on both sides.
-    """
-    return "reference" if engine == "reference" else "compiled"
+#: Engine backends selectable by benchmarks and A/B tests, in registry order.
+#: ``"sweep"`` is the superposed batch executor of
+#: :mod:`repro.execution.sweep` (identical results, one transition
+#: evaluation per distinct configuration across the whole batch) and
+#: ``"vector"`` its NumPy array twin (:mod:`repro.execution.vector`).
+#: Resolution, capability checks and availability probes all live in
+#: :mod:`repro.engines.registry`.
+ENGINES = engine_names(requires={"sweep"})
 
 
 def _run_one(
@@ -584,12 +582,13 @@ def run_iter(
     ``workers`` the pool is shut down as soon as the consumer stops
     iterating.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if engine == "sweep" and record_trace:
-        # The superposed executor does not materialize per-instance traces;
-        # trace consumers transparently get the (identical) compiled loop.
+    spec = resolve_engine(engine, requires={"sweep"}, operation="run_iter")
+    if record_trace and "trace" not in spec.capabilities:
+        # Batch engines (sweep, vector) do not materialize per-instance
+        # traces; trace consumers transparently get the (identical) compiled
+        # loop.
         engine = "compiled"
+        spec = resolve_engine(engine, requires={"sweep"}, operation="run_iter")
     items = list(instances)
     if inputs is None:
         per_inputs: list[dict[Node, Any] | None] = [None] * len(items)
@@ -600,10 +599,21 @@ def run_iter(
                 f"inputs has {len(per_inputs)} entries for {len(items)} instances"
             )
 
-    if engine == "sweep":
-        # Superposed execution is already a batch-level optimization; the
-        # whole sweep runs in-process (``workers`` would split the arena and
-        # forfeit cross-instance deduplication).
+    if spec.batched:
+        # Superposed/vector execution is already a batch-level optimization;
+        # the whole sweep runs in-process (``workers`` would split the
+        # interning arena and forfeit cross-instance deduplication).
+        if spec.name == "vector":
+            from repro.execution.vector import run_vector
+
+            yield from run_vector(
+                algorithm,
+                items,
+                max_rounds=max_rounds,
+                require_halt=require_halt,
+                inputs=per_inputs,
+            )
+            return
         from repro.execution.sweep import run_sweep
 
         yield from run_sweep(
@@ -676,10 +686,15 @@ def run_many(
         ``"compiled"`` (default) uses this module's compiled active-set loop;
         ``"sweep"`` executes the whole batch superposed through
         :func:`repro.execution.sweep.run_sweep` (one transition evaluation
-        per distinct configuration; ``workers`` is ignored and
-        ``record_trace`` falls back to the compiled loop); ``"reference"``
-        dispatches every instance to the seed reference runner -- useful for
-        differential testing and speedup benchmarks on identical workloads.
+        per distinct configuration) and ``"vector"`` through the NumPy
+        kernel of :func:`repro.execution.vector.run_vector` (one array pass
+        per round over the whole batch; requires NumPy) -- for both batch
+        engines ``workers`` is ignored and ``record_trace`` falls back to
+        the compiled loop; ``"reference"`` dispatches every instance to the
+        seed reference runner -- useful for differential testing and speedup
+        benchmarks on identical workloads.  The knob resolves through
+        :func:`repro.engines.resolve_engine`, which raises the shared
+        unknown-engine/capability/availability errors.
     memoize_transitions:
         Additionally memoize ``initial_state`` and ``transition`` across the
         whole batch (see :class:`~repro.machines.fastpath.FastPathAlgorithm`).

@@ -73,11 +73,72 @@ from repro.execution.engine import (
 __all__ = [
     "SweepStats",
     "SweepTables",
+    "collapse_instances",
+    "delivery_signature_of",
     "run_sweep",
     "sweep_tables_for",
 ]
 
 _MISSING = object()
+
+
+def delivery_signature_of(model: Any, has_inputs: bool):
+    """The instance-collapse signature function of a model, or ``None``.
+
+    Instance-level superposition: the receive mode's information loss
+    quotients the adversary's choices.  A node's dynamics depend on its
+    delivery map only up to what the mode can observe -- under Multiset or
+    Set receive the incoming port order is invisible (only the *sorted*
+    source slots matter), and under broadcast send the senders' output
+    ports are too (only the source nodes matter; with Multiset/Set receive
+    on top, nothing of the numbering remains).  Instances that agree on
+    that signature are execution-identical, so only one representative per
+    signature needs to run; duplicates copy its result.  Exhaustive
+    adversarial sweeps collapse by factorial factors this way (MB/SB
+    collapse to a single execution), exactly mirroring how the paper's
+    weak models forget port information.
+
+    Returns ``None`` when no collapse is sound: per-instance inputs break
+    instance equality, and Vector receive with port-addressed sending
+    observes the full delivery map.  Shared by the superposed sweep engine
+    and the NumPy vector kernel (:mod:`repro.execution.vector`).
+    """
+    broadcast = model.send is SendMode.BROADCAST
+    vector_mode = model.receive is ReceiveMode.VECTOR
+    if has_inputs:
+        return None
+    if broadcast:
+        if vector_mode:
+            return lambda ci: tuple(ci.source_nodes)
+        return lambda ci: ()
+    if not vector_mode:
+        return lambda ci: tuple(tuple(sorted(slots)) for slots in ci.sources)
+    return None
+
+
+def collapse_instances(
+    group: "list[CompiledInstance]", signature_of
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """Split a shared-topology group into representatives and duplicates.
+
+    Returns ``(executed, duplicates)``: the positions that must run the
+    round loop, and ``(position, representative)`` pairs whose results are
+    copies of their representative's.
+    """
+    duplicates: list[tuple[int, int]] = []
+    if signature_of is None:
+        return list(range(len(group))), duplicates
+    representatives: dict[Any, int] = {}
+    executed: list[int] = []
+    for position, instance in enumerate(group):
+        signature = signature_of(instance)
+        representative = representatives.get(signature)
+        if representative is None:
+            representatives[signature] = position
+            executed.append(position)
+        else:
+            duplicates.append((position, representative))
+    return executed, duplicates
 
 
 class _LazyRowTable(dict):
@@ -233,6 +294,7 @@ def run_sweep(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     require_halt: bool = True,
     inputs: Sequence[dict[Node, Any] | None] | None = None,
+    workers: int | None = None,
     engine: str = "sweep",
     stats: SweepStats | None = None,
 ) -> list[ExecutionResult]:
@@ -244,13 +306,35 @@ def run_sweep(
     sweep may mix graphs (each group still executes over the same global
     interning tables, which is where the cross-instance deduplication lives).
 
-    ``engine`` keeps the per-instance engines available as differential
-    oracles: ``"compiled"`` routes the batch through the compiled active-set
-    loop, ``"reference"`` through the seed runner; the default ``"sweep"``
-    executes superposed.  ``stats``, when given, accumulates a
-    :class:`SweepStats` work account (superposed path only).
+    ``engine`` keeps the other backends available as differential oracles:
+    ``"compiled"`` routes the batch through the compiled active-set loop,
+    ``"reference"`` through the seed runner, ``"vector"`` through the NumPy
+    kernel (:mod:`repro.execution.vector`); the default ``"sweep"`` executes
+    superposed.  The knob resolves through the engine registry
+    (:func:`repro.engines.resolve_engine`), so unknown names and capability
+    mismatches are diagnosed there.  ``workers`` matches the unified batch
+    signature: the superposed and vector paths always run in-process (a
+    process split would partition the interning arena and forfeit
+    cross-instance deduplication), and the per-instance oracles forward it
+    to :func:`~repro.execution.engine.run_many`.  ``stats``, when given,
+    accumulates a :class:`SweepStats` work account (superposed and vector
+    paths only).
     """
-    if engine in ("compiled", "reference"):
+    from repro.engines.registry import resolve_engine
+
+    spec = resolve_engine(engine, requires={"sweep"}, operation="run_sweep")
+    if spec.name == "vector":
+        from repro.execution.vector import run_vector
+
+        return run_vector(
+            algorithm,
+            instances,
+            max_rounds=max_rounds,
+            require_halt=require_halt,
+            inputs=inputs,
+            stats=stats,
+        )
+    if spec.name in ("compiled", "reference"):
         from repro.execution.engine import run_many
 
         return run_many(
@@ -259,12 +343,9 @@ def run_sweep(
             max_rounds=max_rounds,
             require_halt=require_halt,
             inputs=inputs,
+            workers=workers,
             engine=engine,
             memoize_transitions=True,
-        )
-    if engine != "sweep":
-        raise ValueError(
-            f"unknown engine {engine!r}; expected 'sweep', 'compiled' or 'reference'"
         )
 
     compiled = [compile_instance(item) for item in instances]
@@ -464,46 +545,13 @@ def _sweep_group(
         entry = configs[cfg] = (nsid, state_stops[nsid])
         return entry
 
-    # Instance-level superposition: the receive mode's information loss
-    # quotients the adversary's choices.  A node's dynamics depend on its
-    # delivery map only up to what the mode can observe -- under Multiset or
-    # Set receive the incoming port order is invisible (only the *sorted*
-    # source slots matter), and under broadcast send the senders' output
-    # ports are too (only the source nodes matter; with Multiset/Set receive
-    # on top, nothing of the numbering remains).  Instances that agree on
-    # that signature are execution-identical, so only one representative per
-    # signature runs the round loop; duplicates copy its result.  Exhaustive
-    # adversarial sweeps collapse by factorial factors this way (MB/SB
-    # collapse to a single execution), exactly mirroring how the paper's
-    # weak models forget port information.
-    if any(item is not None for item in group_inputs):
-        signature_of = None  # per-instance inputs break instance equality
-    elif broadcast:
-        if vector_mode:
-            signature_of = lambda ci: tuple(ci.source_nodes)  # noqa: E731
-        else:
-            signature_of = lambda ci: ()  # noqa: E731
-    elif not vector_mode:
-        signature_of = lambda ci: tuple(  # noqa: E731
-            tuple(sorted(slots)) for slots in ci.sources
-        )
-    else:
-        signature_of = None  # Vector receive observes the full delivery map.
-
-    duplicates: list[tuple[int, int]] = []
-    if signature_of is None:
-        executed = range(len(group))
-    else:
-        representatives: dict[Any, int] = {}
-        executed = []
-        for position, instance in enumerate(group):
-            signature = signature_of(instance)
-            representative = representatives.get(signature)
-            if representative is None:
-                representatives[signature] = position
-                executed.append(position)
-            else:
-                duplicates.append((position, representative))
+    # Instance-level superposition (see :func:`delivery_signature_of`): only
+    # one representative per delivery signature runs the round loop;
+    # duplicates copy its result.
+    signature_of = delivery_signature_of(
+        inner.model, any(item is not None for item in group_inputs)
+    )
+    executed, duplicates = collapse_instances(group, signature_of)
 
     for position in executed:
         instance = group[position]

@@ -113,8 +113,14 @@ def reference_bounded_bisimilarity_partition(
 def bisimilarity_partition(
     model: KripkeModel, graded: bool = False, engine: str = "compiled"
 ) -> Partition:
-    """The coarsest (graded) bisimilarity equivalence, as a world-to-block map."""
-    check_engine(engine)
+    """The coarsest (graded) bisimilarity equivalence, as a world-to-block map.
+
+    ``engine="vector"`` shares the compiled signature-hash refinement:
+    partition refinement renumbers blocks by first occurrence, which is an
+    inherently sequential scan with no array form, and the compiled engine
+    is already identical to the reference oracle.
+    """
+    engine = check_engine(engine, "bisimilarity_partition")
     if engine == "reference":
         return reference_bisimilarity_partition(model, graded=graded)
     return compile_kripke(model).bisimilarity_partition(graded=graded)
@@ -129,7 +135,7 @@ def bounded_bisimilarity_partition(
     at most ``rounds`` (of the matching logic), hence by any local algorithm of
     the matching class running for at most ``rounds`` rounds (Theorem 2).
     """
-    check_engine(engine)
+    engine = check_engine(engine, "bounded_bisimilarity_partition")
     if engine == "reference":
         return reference_bounded_bisimilarity_partition(model, rounds, graded=graded)
     return compile_kripke(model).bisimilarity_partition(graded=graded, rounds=rounds)

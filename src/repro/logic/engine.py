@@ -62,14 +62,24 @@ from repro.logic.syntax import (
     formula_pool,
 )
 
-#: Logic-engine backends selectable by wrappers, benchmarks and A/B tests.
-ENGINES = ("compiled", "reference")
+from repro.engines.registry import engine_names, resolve_engine
+
+#: Logic-engine backends selectable by wrappers, benchmarks and A/B tests,
+#: in registry order: the compiled bitset engine, the seed reference
+#: oracles, and the packed-uint64 NumPy kernel (:mod:`repro.logic.vector`).
+ENGINES = engine_names(requires={"logic"})
 
 
-def check_engine(engine: str) -> None:
-    """Validate an ``engine=`` knob value."""
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+def check_engine(engine: str, operation: str = "logic evaluation") -> str:
+    """Validate a logic ``engine=`` knob value; returns the engine name.
+
+    Resolution happens in the engine registry
+    (:func:`repro.engines.resolve_engine`), so an execution-only engine --
+    ``engine="sweep"`` handed to a logic entry point -- raises a capability
+    error naming the engine and the operation here, at the public boundary,
+    instead of failing deep inside dispatch.
+    """
+    return resolve_engine(engine, requires={"logic"}, operation=operation).name
 
 
 #: Set-bit offsets of every byte value: the decode table behind all
@@ -131,6 +141,7 @@ class CompiledKripke:
         "label_keys",
         "_unique_index",
         "_block_bits",
+        "_vector",
     )
 
     def __init__(self, model: KripkeModel) -> None:
@@ -194,6 +205,8 @@ class CompiledKripke:
                 label_keys[i] |= 1 << position
         self.label_keys = label_keys
         self._block_bits: list[int] | None = None
+        # Packed-uint64 twin (:mod:`repro.logic.vector`), built on first use.
+        self._vector = None
 
     # ------------------------------------------------------------------ #
     # Bitset helpers
@@ -546,28 +559,44 @@ def compile_kripke(model: KripkeModel) -> CompiledKripke:
 
 
 def check_many(
-    model: KripkeModel, formulas: Iterable[Formula], engine: str = "compiled"
+    model: KripkeModel,
+    formulas: Iterable[Formula],
+    *,
+    engine: str = "compiled",
+    workers: int | None = None,
 ) -> list[frozenset[World]]:
     """Extensions of many formulas over one model, in input order.
 
     With ``engine="compiled"`` all formulas share one bitset subformula
-    cache; ``engine="reference"`` evaluates them with the seed checker (one
-    shared cache as well), for differential testing and benchmarks.
+    cache; ``engine="vector"`` evaluates the whole batch layer by layer as
+    packed-uint64 array ops (:mod:`repro.logic.vector`; requires NumPy);
+    ``engine="reference"`` uses the seed checker (one shared cache as
+    well), for differential testing and benchmarks.  ``workers`` matches
+    the unified batch signature of
+    :func:`repro.execution.engine.run_many`; the logic engines share
+    per-model caches and always evaluate in-process, so it is accepted and
+    ignored.
     """
-    check_engine(engine)
+    engine = check_engine(engine, "check_many")
     if engine == "reference":
         from repro.logic.semantics import reference_extension
 
         cache: dict = {}
         return [reference_extension(model, formula, cache) for formula in formulas]
+    if engine == "vector":
+        from repro.logic.vector import vector_check_many
+
+        return vector_check_many(model, formulas)
     return compile_kripke(model).check_many(formulas)
 
 
 def check_sweep(
     models: Iterable[KripkeModel],
     formulas: Sequence[Formula],
+    *,
     engine: str = "compiled",
+    workers: int | None = None,
 ) -> list[list[frozenset[World]]]:
     """Extensions of many formulas over many models (one cache per model)."""
-    check_engine(engine)
+    engine = check_engine(engine, "check_sweep")
     return [check_many(model, formulas, engine=engine) for model in models]

@@ -44,6 +44,8 @@ from repro.logic.syntax import (
 _CACHE_OWNER = object()
 #: Cache key under which the compiled engine keeps its bitset subformula cache.
 _CACHE_BITS = object()
+#: Cache key under which the vector engine keeps its packed-row cache.
+_CACHE_ROWS = object()
 
 
 def _claim_cache(model: KripkeModel, cache: dict) -> None:
@@ -136,10 +138,32 @@ def extension(
     _cache: dict | None = None,
     engine: str = "compiled",
 ) -> frozenset[World]:
-    """The set ``||formula||_model`` of worlds where the formula is true."""
-    check_engine(engine)
+    """The set ``||formula||_model`` of worlds where the formula is true.
+
+    ``engine`` selects the compiled bitset checker (default), the
+    packed-uint64 NumPy kernel (``"vector"``) or the seed oracle
+    (``"reference"``); resolution and capability checks live in
+    :func:`repro.engines.resolve_engine`.
+    """
+    engine = check_engine(engine, "extension")
     if engine == "reference":
         return reference_extension(model, formula, _cache)
+    if engine == "vector":
+        from repro.logic.vector import vector_kripke
+
+        vector = vector_kripke(model)
+        if _cache is None:
+            return vector.extension(formula)
+        _claim_cache(model, _cache)
+        cached = _cache.get(formula)
+        if cached is not None:
+            return cached
+        row_cache = _cache.get(_CACHE_ROWS)
+        if row_cache is None:
+            row_cache = _cache[_CACHE_ROWS] = {}
+        result = vector.extension(formula, row_cache)
+        _cache[formula] = result
+        return result
     compiled = compile_kripke(model)
     if _cache is None:
         return compiled.extension(formula)
@@ -163,11 +187,14 @@ def satisfies(
     The compiled engine answers the single-world query top-down with
     short-circuiting and memoisation; it does not compute the full extension
     of the formula over all worlds (which is what the reference checker, and
-    the seed implementation of this function, do).
+    the seed implementation of this function, do).  ``engine="vector"``
+    shares the compiled top-down checker: a single-world query has no batch
+    to vectorize, and the two engines are extension-identical by the
+    differential suite.
     """
     if world not in model.worlds:
         raise ValueError(f"{world!r} is not a world of the model")
-    check_engine(engine)
+    engine = check_engine(engine, "satisfies")
     if engine == "reference":
         return world in reference_extension(model, formula)
     return compile_kripke(model).satisfies(world, formula)
@@ -182,11 +209,19 @@ def equivalent_on(
     subformulas are checked once (the seed implementation evaluated the two
     formulas with separate caches).
     """
-    check_engine(engine)
+    engine = check_engine(engine, "equivalent_on")
     if engine == "reference":
         cache: dict = {}
         return reference_extension(model, first, cache) == reference_extension(
             model, second, cache
+        )
+    if engine == "vector":
+        from repro.logic.vector import vector_kripke
+
+        vector = vector_kripke(model)
+        row_cache: dict = {}
+        return vector.extension_bits(first, row_cache) == vector.extension_bits(
+            second, row_cache
         )
     compiled = compile_kripke(model)
     bits_cache: dict[Formula, int] = {}

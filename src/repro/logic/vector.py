@@ -1,0 +1,320 @@
+"""NumPy vector logic kernel: packed-uint64 batched model checking.
+
+The compiled bitset checker (:mod:`repro.logic.engine`) represents every
+extension as one Python big int, which makes Boolean connectives single
+C-level operations -- but the modal operators still loop in Python:
+``<a>phi`` walks the set bits of ``||phi||`` one predecessor mask at a time,
+and graded diamonds AND the successor mask of *every* world against the
+operand extension in a Python ``for`` loop.  On a 10^4-world sweep model
+those per-world loops dominate.
+
+This module stores each relation as a packed bit *matrix* -- an
+``(n, words)`` uint64 array whose row ``i`` is the successor bitset of world
+``i`` -- and evaluates whole batches of formulas layer by layer over the
+hash-consed DAG with array ops:
+
+* extensions are ``(words,)`` uint64 rows; Boolean connectives are
+  elementwise ``& | ^``;
+* for sparse relations (fewer edges than dense words) the modal operators
+  run over a CSR adjacency: one ``gather + cumsum`` pass yields the
+  per-world count of successors inside ``||phi||``, from which
+  ``<a>phi`` (``counts > 0``), ``[a]phi`` (``counts == degree``) and
+  ``<a>^k phi`` (``counts >= k``) all fall out in O(edges);
+* dense relations fall back to the packed matrix: ``<a>phi`` is
+  ``(S & x).any(axis=1)`` -- one fused pass, no per-world Python -- with
+  ``[a]phi`` as its De Morgan dual and graded diamonds counted via
+  ``np.bitwise_count`` (a portable per-byte popcount table stands in on
+  older NumPy);
+* a :meth:`VectorKripke.check_many` batch first collects every reachable
+  pool node of every formula, then evaluates the union **once** in
+  ascending pool-id order (children before parents by hash-consing), so
+  shared subformulas across the batch cost one array pass total.
+
+Results are bit-for-bit the compiled engine's: the packed rows decode to
+the same Python bitsets, and ``tests/test_vector_logic.py`` checks the
+identity on random Kripke models (including models crossing the 64-bit
+word boundary).  The vector form is cached on the
+:class:`~repro.logic.engine.CompiledKripke` it was built from (``_vector``
+slot), mirroring how the compiled form is cached on the model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.logic.engine import CompiledKripke, compile_kripke
+from repro.logic.kripke import KripkeModel, World
+from repro.logic.syntax import (
+    KIND_AND,
+    KIND_BOTTOM,
+    KIND_BOX,
+    KIND_DIAMOND,
+    KIND_IMPLIES,
+    KIND_NOT,
+    KIND_OR,
+    KIND_PROP,
+    KIND_TOP,
+    Formula,
+    formula_pool,
+)
+
+__all__ = ["VectorKripke", "vector_check_many", "vector_kripke"]
+
+
+def _popcount(np: Any, words: Any) -> Any:
+    """Per-element popcount of a uint64 array, portable across NumPy versions."""
+    counter = getattr(np, "bitwise_count", None)
+    if counter is not None:
+        return counter(words)
+    table = _BYTE_POPCOUNT.get(id(np))
+    if table is None:
+        table = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+        _BYTE_POPCOUNT[id(np)] = table
+    return table[words.view(np.uint8)].reshape(*words.shape, 8).sum(axis=-1, dtype=np.int64)
+
+
+_BYTE_POPCOUNT: dict[int, Any] = {}
+
+#: Distinct sentinel: ``None`` in the CSR cache means "relation is dense,
+#: use the packed matrix", absence means "not probed yet".
+_CSR_UNBUILT = object()
+
+
+class VectorKripke:
+    """Packed-uint64 twin of a :class:`~repro.logic.engine.CompiledKripke`.
+
+    ``succ[index]`` is the ``(n, words)`` successor bit matrix of a relation
+    and ``all_row`` the ``(words,)`` row with the low ``n`` bits set; every
+    extension computed by :meth:`extension_row` is a ``(words,)`` uint64
+    row in the same layout, decodable through the compiled form's
+    ``to_worlds``.
+    """
+
+    __slots__ = ("np", "base", "n", "words", "all_row", "succ", "prop_rows", "_csr_cache")
+
+    def __init__(self, np: Any, base: CompiledKripke) -> None:
+        self.np = np
+        self.base = base
+        n = base.n
+        self.n = n
+        words = max(1, (n + 63) >> 6)
+        self.words = words
+        self.all_row = self._row_of(base.all_mask)
+        self.succ = {
+            index: self._matrix_of(masks)
+            for index, masks in base.succ_masks.items()
+        }
+        self.prop_rows = {
+            prop: self._row_of(bits) for prop, bits in base.prop_bits.items()
+        }
+        self._csr_cache: dict[Any, Any] = {}
+
+    def _row_of(self, bits: int) -> Any:
+        """Pack one Python-int bitset into a ``(words,)`` uint64 row."""
+        np = self.np
+        return np.frombuffer(bits.to_bytes(self.words * 8, "little"), dtype=np.uint64)
+
+    def _matrix_of(self, masks: list[int]) -> Any:
+        """Pack per-world bitsets into an ``(n, words)`` uint64 matrix."""
+        np = self.np
+        span = self.words * 8
+        data = b"".join(mask.to_bytes(span, "little") for mask in masks)
+        if not data:
+            return np.zeros((0, self.words), dtype=np.uint64)
+        return np.frombuffer(data, dtype=np.uint64).reshape(self.n, self.words)
+
+    def _pack_bool(self, flags: Any) -> Any:
+        """Pack an ``(n,)`` bool array into a ``(words,)`` uint64 row."""
+        np = self.np
+        packed = np.packbits(flags, bitorder="little")
+        row = np.zeros(self.words * 8, dtype=np.uint8)
+        row[: len(packed)] = packed
+        return row.view(np.uint64)
+
+    def _unpack_bool(self, row: Any) -> Any:
+        """Unpack a ``(words,)`` uint64 row into an ``(n,)`` 0/1 uint8 array."""
+        np = self.np
+        return np.unpackbits(row.view(np.uint8), count=self.n, bitorder="little")
+
+    def _csr(self, index: Any) -> Any:
+        """CSR adjacency ``(indptr, cols, deg)`` of a relation, or ``None``.
+
+        Returns ``None`` for relations dense enough that the packed-matrix
+        pass (``n * words`` word ops) beats the O(edges) gather.  Built
+        lazily from the packed matrix in bounded row chunks and cached.
+        """
+        entry = self._csr_cache.get(index, _CSR_UNBUILT)
+        if entry is not _CSR_UNBUILT:
+            return entry
+        np = self.np
+        matrix = self.succ[index]
+        edges = int(_popcount(np, matrix).sum())
+        if edges > self.n * self.words:
+            entry = None
+        else:
+            row_chunks, col_chunks = [], []
+            for start in range(0, self.n, 2048):
+                chunk = matrix[start : start + 2048]
+                bits = np.unpackbits(chunk.view(np.uint8), axis=1, bitorder="little")
+                rows, cols = np.nonzero(bits[:, : self.n])
+                row_chunks.append(rows.astype(np.int64) + start)
+                col_chunks.append(cols.astype(np.int64))
+            rows = np.concatenate(row_chunks) if row_chunks else np.zeros(0, np.int64)
+            cols = np.concatenate(col_chunks) if col_chunks else np.zeros(0, np.int64)
+            deg = np.bincount(rows, minlength=self.n).astype(np.int64)
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(deg, out=indptr[1:])
+            entry = (indptr, cols, deg)
+        self._csr_cache[index] = entry
+        return entry
+
+    def _csr_counts(self, csr: Any, operand_row: Any) -> Any:
+        """Per-world count of successors inside the operand extension."""
+        np = self.np
+        indptr, cols, _deg = csr
+        inside = self._unpack_bool(operand_row)
+        prefix = np.zeros(len(cols) + 1, dtype=np.int64)
+        np.cumsum(inside[cols], dtype=np.int64, out=prefix[1:])
+        return prefix[indptr[1:]] - prefix[indptr[:-1]]
+
+    def row_to_bits(self, row: Any) -> int:
+        """Decode a packed row back into a Python-int bitset."""
+        return int.from_bytes(row.tobytes(), "little")
+
+    def to_worlds(self, row: Any) -> frozenset[World]:
+        """Decode a packed row into the corresponding set of worlds."""
+        return self.base.to_worlds(self.row_to_bits(row))
+
+    # ------------------------------------------------------------------ #
+    # Batched ascending DAG pass
+    # ------------------------------------------------------------------ #
+
+    def extension_row(self, formula: Formula, cache: dict[int, Any] | None = None) -> Any:
+        """``||formula||`` as a packed uint64 row, memoised per pool node."""
+        if not isinstance(formula, Formula):
+            raise TypeError(f"unknown formula type: {formula!r}")
+        if cache is None:
+            cache = {}
+        self._evaluate_batch((formula,), cache)
+        return cache[formula.node_id]
+
+    def extension_bits(self, formula: Formula, cache: dict[int, Any] | None = None) -> int:
+        """``||formula||`` as a Python-int bitset (compiled-engine layout)."""
+        return self.row_to_bits(self.extension_row(formula, cache))
+
+    def extension(self, formula: Formula, cache: dict[int, Any] | None = None) -> frozenset[World]:
+        """``||formula||`` as a set of worlds."""
+        return self.to_worlds(self.extension_row(formula, cache))
+
+    def check_many(self, formulas: Iterable[Formula]) -> list[frozenset[World]]:
+        """Extensions of many formulas, evaluated layer by layer as a batch.
+
+        The reachable pool nodes of *all* the formulas are collected first
+        and evaluated in one ascending pass (children before parents by
+        hash-consed construction), so a subformula shared anywhere in the
+        batch costs one array pass total.
+        """
+        formulas = tuple(formulas)
+        for formula in formulas:
+            if not isinstance(formula, Formula):
+                raise TypeError(f"unknown formula type: {formula!r}")
+        cache: dict[int, Any] = {}
+        self._evaluate_batch(formulas, cache)
+        return [self.to_worlds(cache[formula.node_id]) for formula in formulas]
+
+    def _evaluate_batch(self, formulas: tuple[Formula, ...], cache: dict[int, Any]) -> None:
+        np = self.np
+        pool = formula_pool()
+        kinds, kids_of, payloads = pool.kinds, pool.children, pool.payloads
+        # Collect the uncached ids reachable from every root, pruning at
+        # already-cached nodes (shared caches skip whole subdags).
+        needed: set[int] = set()
+        stack = [f.node_id for f in formulas if f.node_id not in cache]
+        needed.update(stack)
+        while stack:
+            for child in kids_of[stack.pop()]:
+                if child not in needed and child not in cache:
+                    needed.add(child)
+                    stack.append(child)
+        all_row = self.all_row
+        base = self.base
+        for node in sorted(needed):
+            kind = kinds[node]
+            kids = kids_of[node]
+            if kind == KIND_PROP:
+                row = self.prop_rows.get(payloads[node][0])
+                if row is None:
+                    row = np.zeros(self.words, dtype=np.uint64)
+            elif kind == KIND_TOP:
+                row = all_row
+            elif kind == KIND_BOTTOM:
+                row = np.zeros(self.words, dtype=np.uint64)
+            elif kind == KIND_NOT:
+                row = all_row ^ cache[kids[0]]
+            elif kind == KIND_AND:
+                row = cache[kids[0]] & cache[kids[1]]
+            elif kind == KIND_OR:
+                row = cache[kids[0]] | cache[kids[1]]
+            elif kind == KIND_IMPLIES:
+                row = (all_row ^ cache[kids[0]]) | cache[kids[1]]
+            elif kind == KIND_DIAMOND:
+                index = base._resolve_index(payloads[node][0])
+                matrix = self.succ.get(index)
+                if matrix is None or self.n == 0:
+                    row = np.zeros(self.words, dtype=np.uint64)
+                else:
+                    csr = self._csr(index)
+                    if csr is not None:
+                        row = self._pack_bool(self._csr_counts(csr, cache[kids[0]]) > 0)
+                    else:
+                        row = self._pack_bool((matrix & cache[kids[0]]).any(axis=1))
+            elif kind == KIND_BOX:
+                # [a]phi: no successor outside ||phi||.
+                index = base._resolve_index(payloads[node][0])
+                matrix = self.succ.get(index)
+                if matrix is None or self.n == 0:
+                    row = all_row
+                else:
+                    csr = self._csr(index)
+                    if csr is not None:
+                        counts = self._csr_counts(csr, cache[kids[0]])
+                        row = self._pack_bool(counts == csr[2])
+                    else:
+                        outside = all_row ^ cache[kids[0]]
+                        row = self._pack_bool(~(matrix & outside).any(axis=1))
+            else:  # KIND_GRADED
+                grade, raw_index = payloads[node]
+                index = base._resolve_index(raw_index)
+                matrix = self.succ.get(index)
+                if grade == 0:
+                    row = all_row
+                elif matrix is None or self.n == 0:
+                    row = np.zeros(self.words, dtype=np.uint64)
+                else:
+                    csr = self._csr(index)
+                    if csr is not None:
+                        row = self._pack_bool(self._csr_counts(csr, cache[kids[0]]) >= grade)
+                    elif grade == 1:
+                        row = self._pack_bool((matrix & cache[kids[0]]).any(axis=1))
+                    else:
+                        counts = _popcount(np, matrix & cache[kids[0]]).sum(axis=1)
+                        row = self._pack_bool(counts >= grade)
+            cache[node] = row
+
+
+def vector_kripke(model: KripkeModel | CompiledKripke) -> VectorKripke:
+    """The packed-matrix form of a model, cached on its compiled form."""
+    from repro.engines.registry import numpy_or_none, resolve_engine
+
+    resolve_engine("vector", requires={"logic"}, operation="vector model checking")
+    compiled = model if isinstance(model, CompiledKripke) else compile_kripke(model)
+    vector = compiled._vector
+    if vector is None:
+        vector = compiled._vector = VectorKripke(numpy_or_none(), compiled)
+    return vector
+
+
+def vector_check_many(model: KripkeModel, formulas: Iterable[Formula]) -> list[frozenset[World]]:
+    """Batched vector extensions of many formulas over one model."""
+    return vector_kripke(model).check_many(formulas)

@@ -58,6 +58,7 @@ class FastPathAlgorithm:
         "_initials",
         "_sends",
         "sweep_tables",
+        "vector_tables",
     )
 
     def __init__(self, inner: Algorithm, memoize_transitions: bool = False) -> None:
@@ -73,8 +74,11 @@ class FastPathAlgorithm:
         self._sends: dict[Any, Any] | None = {} if memoize_transitions else None
         # Dense-id interning tables owned by the superposed sweep executor
         # (:mod:`repro.execution.sweep`), created there on first use; kept on
-        # the wrapper so successive sweeps of one algorithm share them.
+        # the wrapper so successive sweeps of one algorithm share them.  The
+        # NumPy vector kernel (:mod:`repro.execution.vector`) keeps its
+        # array-side mirrors of the same id space in ``vector_tables``.
         self.sweep_tables: Any = None
+        self.vector_tables: Any = None
 
     @property
     def memoizes_transitions(self) -> bool:
@@ -173,6 +177,8 @@ class FastPathAlgorithm:
             self._sends.clear()
         if self.sweep_tables is not None:
             self.sweep_tables.clear()
+        if self.vector_tables is not None:
+            self.vector_tables.clear()
 
     @property
     def cache_size(self) -> int:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Any, ClassVar
 
+from repro.engines.registry import engine_names
 from repro.logic.engine import check_engine
 from repro.logic.syntax import (
     KIND_AND,
@@ -623,8 +624,8 @@ class CompiledFormulaAlgorithm(Algorithm):
         return self._wrap(degree, values, known)
 
 
-#: Formula-algorithm backends selectable by the engine knob.
-FORMULA_ENGINES = ("compiled", "reference")
+#: Formula-algorithm backends selectable by the engine knob (registry order).
+FORMULA_ENGINES = tuple(engine_names(requires={"logic"}))
 
 
 def algorithm_for_formula(
@@ -634,10 +635,13 @@ def algorithm_for_formula(
 
     ``engine="compiled"`` returns the packed-int
     :class:`CompiledFormulaAlgorithm`; ``engine="reference"`` the seed
-    :class:`FormulaAlgorithm`, kept as the differential oracle.  Both raise
-    ``ValueError`` on modality indices the class cannot realise.
+    :class:`FormulaAlgorithm`, kept as the differential oracle.
+    ``engine="vector"`` shares the compiled realisation: the emitted
+    algorithm *is* the per-node scalar form the vector execution kernel
+    then runs batched, so there is no separate construction to vectorize.
+    Both raise ``ValueError`` on modality indices the class cannot realise.
     """
-    check_engine(engine)
+    engine = check_engine(engine, "algorithm_for_formula")
     if engine == "reference":
         return FormulaAlgorithm(formula, problem_class)
     return CompiledFormulaAlgorithm(formula, problem_class)
