@@ -1,0 +1,176 @@
+"""Benchmark the storage backends: cold put, warm resume, report fold.
+
+Three operations at campaign scale (10^4 records for cold writes, 10^5 for
+the read paths; tiny sizes under ``REPRO_BENCH_SMOKE=1``), each measured on
+both backends so ``run_all.py`` pairs them into json-vs-sqlite speedups:
+
+* ``test_cold_put`` -- ``put_many`` into a fresh store: one atomic file
+  rename per record (json) vs one transaction per batch (sqlite);
+* ``test_warm_resume`` -- what ``run_campaign`` does when every scenario is
+  already stored: a fresh store object, ``has_many`` over every hash, then
+  ``record_digests_of`` for the manifest.  Per-record ``stat``/index reads
+  vs a handful of indexed ``IN`` queries;
+* ``test_report_fold`` -- ``get_many`` streamed through the campaign rollup
+  fold, i.e. ``report`` on a fully-populated store.
+
+The records are synthetic (a cycle-family sweep grid with pre-assigned
+hashes): the store never executes anything, so the numbers isolate storage
+from scenario evaluation.  The grid repeats each graph point across the
+port-strategy and seed axes -- the shape real campaigns have, and the one
+the invariance rollup exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore
+from repro.campaign.aggregate import CampaignRollup
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 3
+
+#: Cold-write volume: bounded by the json side (one file per record).
+N_PUT = 2_000 if SMOKE else 10_000
+#: Read-path volume: the 10^5-record scale the sqlite backend exists for.
+N_READ = 2_000 if SMOKE else 100_000
+
+BACKEND_URIS = {
+    "json": lambda root: f"json:{os.path.join(root, 'store')}",
+    "sqlite": lambda root: f"sqlite:{os.path.join(root, 'store.db')}",
+}
+
+
+#: Axes the synthetic grid sweeps per graph point, campaign-style: the same
+#: ``n`` recurs under every (port strategy, seed) combination.
+_PORTS = ("consistent", "random")
+_SEEDS = (0, 1, 2, 3)
+_VARIANTS = len(_PORTS) * len(_SEEDS)
+
+
+def synthetic_records(count: int) -> list[dict]:
+    records = []
+    for i in range(count):
+        n = 3 + i // _VARIANTS
+        port = _PORTS[i % len(_PORTS)]
+        seed = _SEEDS[(i // len(_PORTS)) % len(_SEEDS)]
+        scenario = {
+            "kind": "execution",
+            "family": "cycle",
+            "graph_params": {"n": n},
+            "port_strategy": port,
+            "engine": "sweep",
+            "seed": seed,
+            "model_class": "SB",
+            "algorithm": "leader-detect",
+            "formula_set": None,
+            "max_rounds": 64,
+        }
+        records.append(
+            {
+                "hash": f"{i:064x}",
+                "scenario": scenario,
+                "kind": "execution",
+                "result": {
+                    "nodes": n,
+                    "edges": n,
+                    "halted": True,
+                    "rounds": 2,
+                    "outputs": [],
+                    "output_digest": f"digest-{n}",
+                },
+                "elapsed_s": 0.001,
+            }
+        )
+    return records
+
+
+@pytest.fixture(scope="module")
+def scratch_dir():
+    path = tempfile.mkdtemp(prefix="bench-store-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def read_records():
+    return synthetic_records(N_READ)
+
+
+@pytest.fixture(scope="module")
+def populated(scratch_dir, read_records):
+    """One fully-populated store per backend, built once for the module."""
+    stores = {}
+    for backend, make in BACKEND_URIS.items():
+        root = os.path.join(scratch_dir, f"populated-{backend}")
+        os.makedirs(root, exist_ok=True)
+        uri = make(root)
+        store = ResultStore(uri)
+        store.put_many(read_records)
+        assert store.count_records() == N_READ
+        stores[backend] = uri
+    return stores
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_URIS))
+def test_cold_put(benchmark, scratch_dir, backend):
+    records = synthetic_records(N_PUT)
+    benchmark.extra_info["records"] = N_PUT
+    benchmark.extra_info["payload_bytes"] = sum(
+        len(json.dumps(record)) for record in records
+    )
+    counter = iter(range(10_000))
+
+    def fresh_store():
+        root = os.path.join(scratch_dir, f"cold-{backend}-{next(counter)}")
+        os.makedirs(root, exist_ok=True)
+        return (ResultStore(BACKEND_URIS[backend](root)), records), {}
+
+    def cold_put(store, batch):
+        written = store.put_many(batch)
+        store.save_index()
+        return written
+
+    written = benchmark.pedantic(cold_put, setup=fresh_store, rounds=ROUNDS, iterations=1)
+    assert written == N_PUT
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_URIS))
+def test_warm_resume(benchmark, populated, read_records, backend):
+    """The store side of a 100%-hit resume: probe + manifest digests."""
+    uri = populated[backend]
+    hashes = [record["hash"] for record in read_records]
+    benchmark.extra_info["records"] = N_READ
+
+    def warm_resume():
+        store = ResultStore(uri)  # a fresh process would start cold too
+        present = store.has_many(hashes)
+        digests = store.record_digests_of(hashes)
+        return len(present), len(digests)
+
+    present, digests = benchmark.pedantic(warm_resume, rounds=ROUNDS, iterations=1)
+    assert present == digests == N_READ
+
+
+@pytest.mark.parametrize("backend", sorted(BACKEND_URIS))
+def test_report_fold(benchmark, populated, read_records, backend):
+    """Stream every stored record through the campaign rollup fold."""
+    uri = populated[backend]
+    hashes = [record["hash"] for record in read_records]
+    spec = CampaignSpec(name="bench-report", kind="execution", graphs=[])
+    benchmark.extra_info["records"] = N_READ
+
+    def report_fold():
+        store = ResultStore(uri)
+        rollup = CampaignRollup(spec)
+        rollup.fold_many(store.get_many(hashes))
+        return rollup
+
+    rollup = benchmark.pedantic(report_fold, rounds=ROUNDS, iterations=1)
+    assert rollup.folded == N_READ
+    assert rollup.rollups()["leader-detect"]["scenarios"] == N_READ

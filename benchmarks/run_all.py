@@ -52,6 +52,9 @@ _FILE_SIDES = {
     # relevant oracle: sweep for the execution pairs, compiled for the
     # check_many pairs.
     "bench_vector": ({"vector"}, {"sweep", "compiled", "reference"}),
+    # bench_store pairs the sqlite backend against the loose-object json
+    # layout on identical record sets.
+    "bench_store": ({"sqlite"}, {"json"}),
 }
 
 #: The modules the CI smoke path exercises (``--quick``): one engine-bound,
@@ -62,6 +65,7 @@ QUICK_MODULES = (
     "bench_correspondence",
     "bench_execution",
     "bench_logic",
+    "bench_store",
     "bench_sweep",
     "bench_vector",
 )
@@ -253,6 +257,15 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
         summary["geomean_warm_store_speedup"] = round(
             _geomean([pair["speedup"] for pair in campaign_pairs]), 2
         )
+    # The storage backends: sqlite vs json on identical record sets (cold
+    # put / warm resume / report fold at campaign scale).
+    store_pairs = [pair for pair in pairs if pair["file"] == "bench_store"]
+    if store_pairs:
+        store_speedups = [pair["speedup"] for pair in store_pairs]
+        summary["store_pairs"] = store_pairs
+        summary["min_store_speedup"] = min(store_speedups)
+        summary["max_store_speedup"] = max(store_speedups)
+        summary["geomean_store_speedup"] = round(_geomean(store_speedups), 2)
     # The Theorem 2 pipeline: compiled vs seed round trips, plus the
     # DAG-vs-tree compression of the hash-consed Table 4/5 formulas.
     correspondence_pairs = [

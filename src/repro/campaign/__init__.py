@@ -13,17 +13,48 @@ A campaign turns "imagine a scenario" into a sharded, cached, resumable run:
   content-addressed :class:`~repro.campaign.store.ResultStore`, so re-invoked
   campaigns resume from the store and sharding never changes the manifest
   digest;
-* :mod:`~repro.campaign.aggregate` rolls records up per axis into the same
+* :mod:`~repro.campaign.aggregate` streams records through per-axis rollup
+  folds (:class:`~repro.campaign.aggregate.CampaignRollup`) into the same
   :class:`~repro.experiments.report.ExperimentResult` tables the experiment
   harness prints;
-* ``python -m repro.campaign run|resume|report|list`` is the CLI, with
-  built-in campaigns (:mod:`~repro.campaign.builtin`) re-expressing the E3
-  hierarchy survey and the E12 invariance sweep as specs.
+* storage is pluggable (:mod:`~repro.campaign.backends`): ``json:path``
+  keeps the loose-object layout, ``sqlite:path`` is a single WAL-mode
+  database safe for concurrent writers, and :func:`migrate_store` converts
+  between them with digest verification;
+* :class:`~repro.campaign.service.CampaignService` is the long-lived
+  work-queue form of the executor -- asynchronous submission, cross-campaign
+  in-flight dedup, streaming rollups, cancellation -- served over TCP by
+  ``python -m repro.campaign serve|submit|status|cancel``;
+* ``python -m repro.campaign run|resume|report|list|migrate`` is the
+  one-shot CLI, with built-in campaigns (:mod:`~repro.campaign.builtin`)
+  re-expressing the E3 hierarchy survey and the E12 invariance sweep as
+  specs.
 """
 
-from repro.campaign.aggregate import campaign_result, load_records, report_campaign
+from repro.campaign.aggregate import (
+    CampaignRollup,
+    campaign_result,
+    load_records,
+    report_campaign,
+)
+from repro.campaign.backends import (
+    BACKENDS,
+    JsonBackend,
+    SqliteBackend,
+    StoreBackend,
+    StoreError,
+    migrate_store,
+    open_backend,
+    parse_store_uri,
+)
 from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
 from repro.campaign.executor import CampaignRun, evaluate_scenarios, run_campaign
+from repro.campaign.service import (
+    CampaignService,
+    CampaignServiceServer,
+    ServiceClient,
+    ServiceError,
+)
 from repro.campaign.registry import (
     ALGORITHMS,
     FORMULA_SETS,
@@ -42,25 +73,38 @@ from repro.campaign.store import ResultStore, record_digest
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "BUILTIN_CAMPAIGNS",
+    "CampaignRollup",
     "CampaignRun",
+    "CampaignService",
+    "CampaignServiceServer",
     "CampaignSpec",
     "FORMULA_SETS",
     "GRAPH_FAMILIES",
     "GraphFamily",
     "GraphGrid",
+    "JsonBackend",
     "MACHINES",
     "MachineWorkload",
     "MODEL_DEFAULT_ALGORITHMS",
     "PORT_STRATEGIES",
     "ResultStore",
     "Scenario",
+    "ServiceClient",
+    "ServiceError",
+    "SqliteBackend",
+    "StoreBackend",
+    "StoreError",
     "builtin_spec",
     "build_graph",
     "campaign_result",
     "evaluate_scenarios",
     "load_records",
     "machine_workload",
+    "migrate_store",
+    "open_backend",
+    "parse_store_uri",
     "record_digest",
     "register_graph_family",
     "report_campaign",

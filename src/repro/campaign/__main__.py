@@ -2,18 +2,33 @@
 
 Usage::
 
-    python -m repro.campaign list  [--store DIR]
-    python -m repro.campaign run    <name | spec.json> [--store DIR] [--workers N] [--json]
-    python -m repro.campaign resume <name>             [--store DIR] [--workers N] [--json]
-    python -m repro.campaign report <name>             [--store DIR] [--json]
+    python -m repro.campaign list    [--store URI]
+    python -m repro.campaign run     <name | spec.json> [--store URI] [--workers N] [--json]
+    python -m repro.campaign resume  <name>             [--store URI] [--workers N] [--json]
+    python -m repro.campaign report  <name>             [--store URI] [--json]
+    python -m repro.campaign migrate <source-uri> <dest-uri> [--json]
+    python -m repro.campaign serve   [--store URI] [--workers N] [--port P] [--port-file F]
+    python -m repro.campaign submit  <name | spec.json> --port P [--wait] [--json]
+    python -m repro.campaign status  [job] --port P [--json]
+    python -m repro.campaign cancel  <job> --port P [--json]
 
-``run`` accepts a built-in campaign name or a path to a JSON spec file; it is
-resumable by construction (scenarios already in the store are skipped).
-``resume`` re-invokes a campaign whose spec is recovered from the stored
-manifest (or a built-in), so an interrupted run continues without the
+``--store`` accepts a store URI: a bare path (the json directory layout, as
+ever), ``json:path``, or ``sqlite:path`` for the single-file WAL database
+backend.  ``run`` accepts a built-in campaign name or a path to a JSON spec
+file; it is resumable by construction (scenarios already in the store are
+skipped).  ``resume`` re-invokes a campaign whose spec is recovered from the
+stored manifest (or a built-in), so an interrupted run continues without the
 original spec file.  ``report`` aggregates the stored records into the same
 paper-vs-measured table the experiment harness prints; ``--json`` emits the
-machine-readable form CI consumes.
+machine-readable form CI consumes.  ``migrate`` copies a store between
+backends and verifies byte-identical manifests and matching digests before
+reporting success.
+
+``serve`` starts the long-lived work-queue service on a TCP socket (port 0
+picks a free port; ``--port-file`` writes the bound address for scripts);
+``submit``/``status``/``cancel`` are thin clients for it.  The service
+deduplicates submissions against the store *and* against each other: a
+scenario in flight for one campaign is never re-executed for another.
 """
 
 from __future__ import annotations
@@ -24,13 +39,22 @@ import sys
 from pathlib import Path
 
 from repro.campaign.aggregate import campaign_result, load_records
+from repro.campaign.backends import migrate_store
 from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
 from repro.campaign.executor import run_campaign
+from repro.campaign.service import (
+    CampaignService,
+    CampaignServiceServer,
+    ServiceClient,
+    ServiceError,
+)
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, StoreError
 from repro.experiments.report import format_report
 
 DEFAULT_STORE = "campaign-store"
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7340
 
 
 def _resolve_spec(target: str, store: ResultStore, prefer_manifest: bool) -> CampaignSpec:
@@ -83,12 +107,65 @@ def _print_report(store: ResultStore, name: str, as_json: bool, run_summary=None
     return result.all_match
 
 
+def _client(args: argparse.Namespace) -> ServiceClient:
+    host, port = args.host, args.port
+    if args.port_file:
+        try:
+            host, port = Path(args.port_file).read_text().split(":", 1)
+            port = int(port)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"error: cannot read port file {args.port_file!r}: {error}") from None
+    try:
+        return ServiceClient(host, port)
+    except OSError as error:
+        raise SystemExit(f"error: cannot reach service at {host}:{port}: {error}") from None
+
+
+def _emit(payload: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    if "jobs" in payload:
+        print(
+            f"service store {payload['store']} ({payload['backend']} backend, "
+            f"{payload['records']} records), {payload['workers'] or 1} worker(s)"
+        )
+        for job in payload["jobs"]:
+            _emit(job, as_json=False)
+        if not payload["jobs"]:
+            print("  no jobs submitted")
+        return
+    line = (
+        f"  {payload['job']:8} {payload['campaign']:18} {payload['status']:10} "
+        f"{payload['done']}/{payload['total']} done, {payload['store_hits']} store hits, "
+        f"{payload['inflight_hits']} in-flight hits, {payload['executed']} executed"
+    )
+    if payload.get("manifest_digest"):
+        line += f", manifest {payload['manifest_digest'][:12]}"
+    if payload.get("error"):
+        line += f", error: {payload['error']}"
+    print(line)
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default=DEFAULT_HOST, help="service host")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="service port")
+    parser.add_argument(
+        "--port-file", default=None, help="file holding host:port (written by serve)"
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
         description="Declarative scenario sweeps over the compiled engines.",
     )
-    parser.add_argument("--store", default=DEFAULT_STORE, help="result store directory")
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help="result store URI: a path, json:path, or sqlite:path",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser("run", help="run (or resume) a campaign")
@@ -112,7 +189,108 @@ def main(argv: list[str]) -> int:
 
     commands.add_parser("list", help="list built-in and stored campaigns")
 
+    migrate_parser = commands.add_parser(
+        "migrate", help="copy a store to another backend and verify digests"
+    )
+    migrate_parser.add_argument("source", help="source store URI")
+    migrate_parser.add_argument("destination", help="destination store URI")
+    migrate_parser.add_argument("--json", action="store_true")
+
+    serve_parser = commands.add_parser("serve", help="start the campaign work-queue service")
+    serve_parser.add_argument("--workers", type=int, default=None)
+    serve_parser.add_argument("--host", default=DEFAULT_HOST)
+    serve_parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="TCP port (0 picks a free port)"
+    )
+    serve_parser.add_argument(
+        "--port-file", default=None, help="write the bound host:port to this file"
+    )
+
+    submit_parser = commands.add_parser("submit", help="submit a campaign to the service")
+    submit_parser.add_argument("campaign", help="built-in name or path to a spec JSON file")
+    submit_parser.add_argument(
+        "--no-resume", action="store_true", help="re-evaluate and replace stored records"
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true", help="block until the job finishes and print its report"
+    )
+    _add_client_args(submit_parser)
+
+    status_parser = commands.add_parser("status", help="job (or service) status")
+    status_parser.add_argument("job", nargs="?", default=None, help="job id (omit for all)")
+    _add_client_args(status_parser)
+
+    cancel_parser = commands.add_parser("cancel", help="cancel a submitted job")
+    cancel_parser.add_argument("job", help="job id")
+    _add_client_args(cancel_parser)
+
     args = parser.parse_args(argv)
+
+    if args.command == "migrate":
+        try:
+            report = migrate_store(args.source, args.destination)
+        except (StoreError, ValueError, KeyError, OSError) as error:
+            raise SystemExit(f"error: {error.args[0] if error.args else error}") from None
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"migrated {report['source']} -> {report['destination']}: "
+                f"{report['records_copied']} records copied, "
+                f"{report['records_already_present']} already present"
+            )
+            for entry in report["campaigns"]:
+                print(f"  {entry['campaign']:16} manifest {entry['manifest_digest'][:12]} verified")
+        return 0
+
+    if args.command == "serve":
+        service = CampaignService(args.store, workers=args.workers)
+        server = CampaignServiceServer(service, host=args.host, port=args.port)
+        host, port = server.address
+        if args.port_file:
+            Path(args.port_file).write_text(f"{host}:{port}")
+        print(f"campaign service on {host}:{port}, store {service.store.uri}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            service.shutdown(wait=False)
+        return 0
+
+    if args.command in ("submit", "status", "cancel"):
+        with _client(args) as client:
+            try:
+                if args.command == "submit":
+                    spec = _resolve_spec(
+                        args.campaign, ResultStore(args.store), prefer_manifest=False
+                    )
+                    job_id = client.submit(spec, resume=not args.no_resume)
+                    if not args.wait:
+                        _emit(client.status(job_id), args.json)
+                        return 0
+                    status = client.wait(job_id)
+                    _emit(status, args.json)
+                    if status["status"] != "done":
+                        return 1
+                    report = client.report(job_id)
+                    if args.json:
+                        print(json.dumps(report, indent=2, sort_keys=True))
+                    else:
+                        rows = report["rows"]
+                        matches = sum(1 for row in rows if row["matches"])
+                        print(f"report: {matches}/{len(rows)} rows match")
+                    return 0 if all(row["matches"] for row in report["rows"]) else 1
+                if args.command == "status":
+                    _emit(client.status(args.job), args.json)
+                    return 0
+                payload = client.cancel(args.job)
+                _emit(payload, args.json)
+                return 0 if payload.get("cancelled") else 1
+            except ServiceError as error:
+                raise SystemExit(f"error: {error.args[0] if error.args else error}") from None
+
     store = ResultStore(args.store)
 
     if args.command == "list":
@@ -121,10 +299,20 @@ def main(argv: list[str]) -> int:
             spec = builtin_spec(name)
             print(f"  {name:16} {len(spec.expand()):5d} scenarios  {spec.description}")
         stored = store.list_campaigns()
-        print(f"stored campaigns in {store.root}:" if stored else f"no stored campaigns in {store.root}")
+        print(
+            f"stored campaigns in {store.uri} ({store.scheme} backend, "
+            f"{store.count_records()} records):"
+            if stored
+            else f"no stored campaigns in {store.uri} ({store.scheme} backend)"
+        )
         for name in stored:
             manifest = store.read_manifest(name)
-            print(f"  {name:16} {len(manifest['scenarios']):5d} scenarios  digest {manifest['manifest_digest'][:12]}")
+            hashes = [entry["hash"] for entry in manifest["scenarios"]]
+            present = len(store.has_many(hashes))
+            print(
+                f"  {name:16} {present:5d}/{len(hashes)} records  "
+                f"digest {manifest['manifest_digest'][:12]}"
+            )
         return 0
 
     if args.command in ("run", "resume"):
@@ -146,7 +334,7 @@ def main(argv: list[str]) -> int:
     # report
     try:
         ok = _print_report(store, args.campaign, args.json)
-    except KeyError as error:
+    except (KeyError, StoreError) as error:
         raise SystemExit(f"error: {error.args[0]}") from None
     return 0 if ok else 1
 

@@ -1,203 +1,74 @@
-"""The content-addressed, resumable result store.
+"""``ResultStore``: the compatibility shim over the storage backends.
 
-Layout under the store root::
+Historically this module *was* the store (one ``index.json`` plus loose JSON
+objects).  That layout now lives in
+:class:`~repro.campaign.backends.json_backend.JsonBackend`, one of the
+pluggable backends under :mod:`repro.campaign.backends`; ``ResultStore``
+remains the public front door and resolves whatever it is given -- a bare
+path, a ``json:path`` / ``sqlite:path`` store URI, or an already-open
+backend -- to a live backend instance::
 
-    objects/<hh>/<hash>.json    one JSON record per scenario content hash
-    index.json                  hash -> record digest (fast resume/manifest path)
-    campaigns/<name>.json       one manifest per campaign name
+    ResultStore("campaign-store")          # json directory layout (as ever)
+    ResultStore("sqlite:campaigns.db")     # single WAL-mode database
+    ResultStore("json:campaign-store")     # explicit json URI
 
-Records are written atomically (temp file + ``os.replace``) and are immutable
-once present: ``put`` on an existing hash is a no-op, which is what makes
-re-invoked campaigns resumable and concurrent writers safe.  The *record
-digest* is a SHA-256 over the record's canonical JSON minus volatile fields
-(wall-clock timings), so the manifest digest of a campaign depends only on
-the spec and the deterministic result payloads -- never on shard order,
-worker count, or how long anything took.
+For the json scheme the returned object *is* a ``ResultStore`` (a
+``JsonBackend`` subclass), so existing code that constructs, subclasses or
+monkeypatches ``ResultStore`` keeps working; other schemes return their
+backend directly.  Either way the object satisfies the full
+:class:`~repro.campaign.backends.base.StoreBackend` contract, and the
+manifest digests it produces are byte-identical across backends.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import tempfile
-from collections.abc import Iterable
-from pathlib import Path
-from typing import Any
 
-from repro.campaign.spec import CampaignSpec, Scenario, canonical_json, content_digest
+from repro.campaign.backends import (
+    StoreBackend,
+    StoreError,
+    open_backend,
+    parse_store_uri,
+    record_digest,
+)
+from repro.campaign.backends.base import VOLATILE_FIELDS
+from repro.campaign.backends.json_backend import JsonBackend
 
-#: Record fields excluded from the record digest (timing noise, not results).
-VOLATILE_FIELDS = ("elapsed_s",)
+__all__ = [
+    "VOLATILE_FIELDS",
+    "ResultStore",
+    "StoreBackend",
+    "StoreError",
+    "record_digest",
+]
 
 
-def record_digest(record: dict[str, Any]) -> str:
-    """Digest of a record's deterministic content."""
-    stable = {key: value for key, value in record.items() if key not in VOLATILE_FIELDS}
-    return content_digest(stable)
+class ResultStore(JsonBackend):
+    """A content-addressed store of scenario records and manifests.
 
+    Construction dispatches on the store URI: json locations build a
+    ``ResultStore`` proper, any other scheme returns that backend instance.
+    """
 
-class ResultStore:
-    """A content-addressed on-disk store of scenario records and manifests."""
+    def __new__(
+        cls, root: str | os.PathLike[str] | StoreBackend | None = None
+    ) -> "ResultStore":
+        if root is None:
+            # Unpickling path: pickle calls __new__ bare and restores the
+            # instance dict itself (direct construction still requires root).
+            return super().__new__(cls)
+        if isinstance(root, StoreBackend):
+            return root  # already open; pass through (idempotent construction)
+        scheme, _ = parse_store_uri(root)
+        if scheme != JsonBackend.scheme:
+            return open_backend(root)  # type: ignore[return-value]
+        return super().__new__(cls)
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
-        self.root = Path(root)
-        self.objects = self.root / "objects"
-        self.campaigns = self.root / "campaigns"
-        self.index_path = self.root / "index.json"
-        # No eager mkdir: read-only consumers (list/report) must not create
-        # store directories as a side effect; _atomic_write mkdirs on demand.
-        self._index: dict[str, str] | None = None
-
-    # ------------------------------------------------------------------ #
-    # Records
-    # ------------------------------------------------------------------ #
-
-    def _object_path(self, scenario_hash: str) -> Path:
-        return self.objects / scenario_hash[:2] / f"{scenario_hash}.json"
-
-    def has(self, scenario_hash: str) -> bool:
-        # The object file is the source of truth, not the index: a stale
-        # index entry whose record was pruned must not make resume skip the
-        # scenario (it would leave the manifest pointing at missing records).
-        return self._object_path(scenario_hash).exists()
-
-    def put(self, record: dict[str, Any], overwrite: bool = False) -> bool:
-        """Store a record under its scenario hash.
-
-        Returns ``True`` when the record was written, ``False`` when the hash
-        was already present and kept (the default: existing records win, so
-        concurrent shards and resumed runs are idempotent).  ``overwrite``
-        replaces an existing record -- the forced re-evaluation path
-        (``resume=False``), where the freshly computed record is the point.
-        The in-memory index is updated to describe the record actually
-        served; callers flush it with :meth:`save_index` once per batch.
-        """
-        scenario_hash = record["hash"]
-        path = self._object_path(scenario_hash)
-        if path.exists() and not overwrite:
-            # The index must describe the record actually served, never the
-            # discarded newcomer; self-heal from disk if the entry is missing.
-            self.record_digest_of(scenario_hash)
-            return False
-        self._atomic_write(path, json.dumps(record, indent=2, sort_keys=True))
-        self.index[scenario_hash] = record_digest(record)
-        return True
-
-    def put_many(self, records: Iterable[dict[str, Any]], overwrite: bool = False) -> int:
-        """Store a batch of records, flushing the index once at the end.
-
-        This is the per-shard persistence path of the campaign executor.
-        ``put`` never flushes, so the flush cadence is entirely the caller's:
-        one ``save_index`` per batch keeps the index durable shard by shard
-        (a run that dies between shards resumes with a warm index) without
-        rewriting it per record or per chunk.  The object files land record
-        by record regardless -- each one atomic, each one enough for a later
-        resume on its own.  Returns the number of records actually written.
-        """
-        written = 0
-        for record in records:
-            if self.put(record, overwrite=overwrite):
-                written += 1
-        self.save_index()
-        return written
-
-    def get(self, scenario_hash: str) -> dict[str, Any]:
-        path = self._object_path(scenario_hash)
-        try:
-            with open(path) as handle:
-                return json.load(handle)
-        except FileNotFoundError:
-            raise KeyError(f"no record for scenario hash {scenario_hash}") from None
-
-    # ------------------------------------------------------------------ #
-    # Index (hash -> record digest)
-    # ------------------------------------------------------------------ #
-
-    @property
-    def index(self) -> dict[str, str]:
-        if self._index is None:
-            try:
-                with open(self.index_path) as handle:
-                    self._index = json.load(handle)
-            except (FileNotFoundError, json.JSONDecodeError):
-                self._index = {}
-        return self._index
-
-    def save_index(self) -> None:
-        self._atomic_write(self.index_path, json.dumps(self.index, indent=0, sort_keys=True))
-
-    def record_digest_of(self, scenario_hash: str) -> str:
-        """The record digest for a stored scenario, via the index when warm.
-
-        Self-healing: a hash present on disk but missing from the index (e.g.
-        an interrupted earlier run) is re-read and re-indexed.
-        """
-        digest = self.index.get(scenario_hash)
-        if digest is None:
-            digest = record_digest(self.get(scenario_hash))
-            self.index[scenario_hash] = digest
-        return digest
-
-    # ------------------------------------------------------------------ #
-    # Manifests
-    # ------------------------------------------------------------------ #
-
-    def manifest_path(self, name: str) -> Path:
-        return self.campaigns / f"{name}.json"
-
-    def write_manifest(
-        self, spec: CampaignSpec, scenarios: list[Scenario]
-    ) -> tuple[Path, str]:
-        """Write the campaign manifest and return ``(path, manifest digest)``.
-
-        The manifest lists every scenario in expansion order with its content
-        hash and record digest.  Its digest covers exactly the spec and that
-        list, so any two runs of the same spec that produced the same records
-        -- serial or sharded, cold or resumed -- emit byte-identical manifests.
-        """
-        entries = []
-        for scenario in scenarios:
-            scenario_hash = scenario.content_hash()
-            entries.append(
-                {"hash": scenario_hash, "record_digest": self.record_digest_of(scenario_hash)}
-            )
-        stable = {"spec": spec.to_dict(), "scenarios": entries}
-        digest = content_digest(stable)
-        manifest = {"manifest_digest": digest, **stable}
-        path = self.manifest_path(spec.name)
-        self._atomic_write(path, canonical_json(manifest))
-        return path, digest
-
-    def read_manifest(self, name: str) -> dict[str, Any]:
-        path = self.manifest_path(name)
-        try:
-            with open(path) as handle:
-                return json.load(handle)
-        except FileNotFoundError:
-            known = ", ".join(self.list_campaigns()) or "(none)"
-            raise KeyError(
-                f"no manifest for campaign {name!r} in {self.root}; stored campaigns: {known}"
-            ) from None
-
-    def list_campaigns(self) -> list[str]:
-        return sorted(path.stem for path in self.campaigns.glob("*.json"))
-
-    # ------------------------------------------------------------------ #
-    # Plumbing
-    # ------------------------------------------------------------------ #
-
-    def _atomic_write(self, path: Path, text: str) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, prefix=f".{path.name}.", delete=False
-        )
-        try:
-            with handle:
-                handle.write(text)
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except FileNotFoundError:
-                pass
-            raise
+    def __init__(self, root: str | os.PathLike[str] | StoreBackend) -> None:
+        # Only reached for json locations (__new__ returned other backends
+        # directly, and Python skips __init__ for non-instances).  Guard the
+        # pass-through case: re-initialising an open store must be a no-op.
+        if isinstance(root, StoreBackend):
+            return
+        _, path = parse_store_uri(root)
+        super().__init__(path)
