@@ -353,6 +353,115 @@ def derive_summary(benches: dict, pairs: list[dict]) -> dict:
     return summary
 
 
+def collect_metrics_probe(smoke: bool) -> dict:
+    """Re-run the ``bench_sweep`` workloads in-process with the telemetry
+    registry enabled and return the resulting snapshot plus per-case dedup
+    accounting derived *from the metrics counters alone*.
+
+    This is the cross-check that keeps the observability layer honest: the
+    ``sweep.occurrences``/``sweep.evaluations`` counters must reproduce the
+    ``sweep_dedup`` figures the benchmarks report out of ``SweepStats``
+    (same workloads, same sizes -- ``REPRO_BENCH_SMOKE`` is pinned to the
+    run's smoke flag before the bench module is imported).
+    """
+    if smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    else:
+        os.environ.pop("REPRO_BENCH_SMOKE", None)
+    for entry in (str(REPO_ROOT / "src"), str(BENCH_DIR)):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    import bench_sweep  # noqa: PLC0415 - sized by REPRO_BENCH_SMOKE at import
+
+    from repro import obs
+    from repro.execution.sweep import run_sweep
+
+    cases = [
+        ("test_e3_exhaustive_adversary_sweep", {"label": label}, algorithm,
+         bench_sweep.E3_INSTANCES)
+        for label, algorithm in bench_sweep.E3_ALGORITHMS.items()
+    ]
+    for cls in bench_sweep.E9_CLASSES:
+        from repro.machines.library import reference_machine
+        from repro.machines.models import ProblemClass
+        from repro.machines.state_machine import algorithm_from_machine
+
+        algorithm = algorithm_from_machine(
+            reference_machine(ProblemClass(cls), 3, rounds=2).as_state_machine()
+        )
+        cases.append(
+            ("test_e9_regular_machine_sweep", {"cls": cls}, algorithm,
+             bench_sweep.E9_INSTANCES)
+        )
+    cases += [
+        ("test_correspondence_roundtrip_sweep", {"front": front}, algorithm,
+         bench_sweep.CORRESPONDENCE_INSTANCES)
+        for front, algorithm in bench_sweep.CORRESPONDENCE_FRONTS.items()
+    ]
+
+    obs.reset()
+    obs.enable()
+    dedup = []
+    try:
+        for benchmark_name, params, algorithm, instances in cases:
+            before = obs.snapshot()
+            run_sweep(algorithm, instances, require_halt=False)
+            delta = obs.snapshot_delta(before, obs.snapshot())
+            counters = delta.get("counters", {})
+            occurrences = int(
+                counters.get("sweep.occurrences", 0)
+                + counters.get("sweep.replicated_occurrences", 0)
+            )
+            evaluations = int(counters.get("sweep.evaluations", 0))
+            dedup.append(
+                {
+                    "benchmark": benchmark_name,
+                    "params": params,
+                    "instances": len(instances),
+                    "occurrences": occurrences,
+                    "evaluations": evaluations,
+                    "dedup_ratio": round(occurrences / max(evaluations, 1), 1),
+                }
+            )
+        snapshot = obs.snapshot()
+    finally:
+        obs.disable()
+        obs.reset()
+    return {
+        "snapshot": snapshot,
+        "sweep_dedup": sorted(dedup, key=lambda entry: -entry["dedup_ratio"]),
+    }
+
+
+def verify_dedup_metrics(probe_dedup: list[dict], summary_dedup: list[dict]) -> None:
+    """The counter-derived dedup figures must match the SweepStats-derived
+    ``summary["sweep_dedup"]`` figures within rounding (both sides round the
+    ratio to one decimal; the raw counts must agree exactly)."""
+    probe_by_key = {
+        (entry["benchmark"], tuple(sorted(entry["params"].items()))): entry
+        for entry in probe_dedup
+    }
+    for expected in summary_dedup:
+        key = (expected["benchmark"], tuple(sorted(expected["params"].items())))
+        measured = probe_by_key.get(key)
+        if measured is None:
+            raise SystemExit(
+                f"metrics probe missing sweep_dedup case {key!r}; "
+                f"probe has {sorted(probe_by_key)}"
+            )
+        for field in ("occurrences", "evaluations"):
+            if measured[field] != expected[field]:
+                raise SystemExit(
+                    f"metrics probe disagrees with benchmark on {key!r}.{field}: "
+                    f"counters say {measured[field]}, SweepStats said {expected[field]}"
+                )
+        if abs(measured["dedup_ratio"] - expected["dedup_ratio"]) > 0.1001:
+            raise SystemExit(
+                f"metrics probe dedup ratio for {key!r} is {measured['dedup_ratio']}, "
+                f"benchmark reported {expected['dedup_ratio']}"
+            )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -397,6 +506,7 @@ def main() -> None:
         print(f"[run_all] {path.name}: {wall:.1f}s", flush=True)
 
     pairs = derive_pairs(benches)
+    summary = derive_summary(benches, pairs)
     report = {
         "date": date,
         "python": platform.python_version(),
@@ -404,8 +514,22 @@ def main() -> None:
         "smoke": args.smoke,
         "benches": benches,
         "pairs": pairs,
-        "summary": derive_summary(benches, pairs),
+        "summary": summary,
     }
+    # The telemetry cross-check rides along whenever the sweep benchmarks
+    # ran.  ``metrics`` is a new, optional top-level section: consumers of
+    # older BENCH_<date>.json files (and of files written with --only on a
+    # non-sweep module) must not assume it is present.
+    if "bench_sweep" in benches and summary.get("sweep_dedup"):
+        print("[run_all] metrics probe (bench_sweep workloads) ...", flush=True)
+        probe = collect_metrics_probe(smoke=args.smoke)
+        verify_dedup_metrics(probe["sweep_dedup"], summary["sweep_dedup"])
+        report["metrics"] = probe
+        print(
+            "[run_all] metrics probe: counters match sweep_dedup on "
+            f"{len(probe['sweep_dedup'])} cases",
+            flush=True,
+        )
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
         fh.write("\n")

@@ -4,13 +4,17 @@ Usage::
 
     python -m repro.campaign list    [--store URI]
     python -m repro.campaign run     <name | spec.json> [--store URI] [--workers N] [--json]
+                                     [--metrics] [--trace PATH]
     python -m repro.campaign resume  <name>             [--store URI] [--workers N] [--json]
+                                     [--metrics] [--trace PATH]
     python -m repro.campaign report  <name>             [--store URI] [--json]
     python -m repro.campaign migrate <source-uri> <dest-uri> [--json]
     python -m repro.campaign serve   [--store URI] [--workers N] [--port P] [--port-file F]
+                                     [--no-metrics] [--trace PATH]
     python -m repro.campaign submit  <name | spec.json> --port P [--wait] [--json]
     python -m repro.campaign status  [job] --port P [--json]
     python -m repro.campaign cancel  <job> --port P [--json]
+    python -m repro.campaign metrics --port P [--json]
 
 ``--store`` accepts a store URI: a bare path (the json directory layout, as
 ever), ``json:path``, or ``sqlite:path`` for the single-file WAL database
@@ -29,6 +33,13 @@ picks a free port; ``--port-file`` writes the bound address for scripts);
 ``submit``/``status``/``cancel`` are thin clients for it.  The service
 deduplicates submissions against the store *and* against each other: a
 scenario in flight for one campaign is never re-executed for another.
+
+Telemetry (see :mod:`repro.obs`): ``--metrics`` on ``run``/``resume`` prints
+a metrics table after the report (or embeds a ``metrics`` snapshot in the
+``--json`` payload); ``--trace PATH`` writes a JSON-lines span trace that
+``python -m repro.obs report PATH`` aggregates.  ``serve`` collects metrics
+by default (``--no-metrics`` opts out); the ``metrics`` client verb fetches
+the live snapshot as Prometheus text (or JSON with ``--json``).
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.campaign.aggregate import campaign_result, load_records
 from repro.campaign.backends import migrate_store
 from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
@@ -94,16 +106,23 @@ def _resolve_spec(target: str, store: ResultStore, prefer_manifest: bool) -> Cam
     )
 
 
-def _print_report(store: ResultStore, name: str, as_json: bool, run_summary=None) -> bool:
+def _print_report(
+    store: ResultStore, name: str, as_json: bool, run_summary=None, metrics=None
+) -> bool:
     spec, records = load_records(store, name)
     result = campaign_result(spec, records)
     if as_json:
         payload = result.to_dict()
         if run_summary is not None:
             payload["run"] = run_summary.to_dict()
+        if metrics is not None:
+            payload["metrics"] = metrics
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(format_report([result]))
+        if metrics is not None:
+            print()
+            print(obs.format_metrics_table(metrics))
     return result.all_match
 
 
@@ -147,6 +166,20 @@ def _emit(payload: dict, as_json: bool) -> None:
     print(line)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry counters and print them after the report",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSON-lines span trace (see python -m repro.obs report)",
+    )
+
+
 def _add_client_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default=DEFAULT_HOST, help="service host")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="service port")
@@ -166,6 +199,15 @@ def main(argv: list[str]) -> int:
         default=DEFAULT_STORE,
         help="result store URI: a path, json:path, or sqlite:path",
     )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity on stderr",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", help="emit log lines as JSON objects"
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser("run", help="run (or resume) a campaign")
@@ -175,6 +217,7 @@ def main(argv: list[str]) -> int:
         "--no-resume", action="store_true", help="re-evaluate and replace stored records"
     )
     run_parser.add_argument("--json", action="store_true", help="machine-readable report")
+    _add_obs_args(run_parser)
 
     resume_parser = commands.add_parser(
         "resume", help="continue a campaign from its stored manifest"
@@ -182,6 +225,7 @@ def main(argv: list[str]) -> int:
     resume_parser.add_argument("campaign", help="built-in name or stored campaign name")
     resume_parser.add_argument("--workers", type=int, default=None)
     resume_parser.add_argument("--json", action="store_true")
+    _add_obs_args(resume_parser)
 
     report_parser = commands.add_parser("report", help="aggregate a stored campaign")
     report_parser.add_argument("campaign", help="stored campaign name")
@@ -205,6 +249,14 @@ def main(argv: list[str]) -> int:
     serve_parser.add_argument(
         "--port-file", default=None, help="write the bound host:port to this file"
     )
+    serve_parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="do not collect telemetry counters (collected by default)",
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, metavar="PATH", help="write a JSON-lines span trace"
+    )
 
     submit_parser = commands.add_parser("submit", help="submit a campaign to the service")
     submit_parser.add_argument("campaign", help="built-in name or path to a spec JSON file")
@@ -224,7 +276,18 @@ def main(argv: list[str]) -> int:
     cancel_parser.add_argument("job", help="job id")
     _add_client_args(cancel_parser)
 
+    metrics_parser = commands.add_parser(
+        "metrics", help="fetch the service's live metrics snapshot"
+    )
+    _add_client_args(metrics_parser)
+
     args = parser.parse_args(argv)
+    # run/resume progress lines belong to the text report on stdout; every
+    # other verb (notably serve, whose stdout port line scripts parse) logs
+    # to stderr.
+    log_stream = sys.stdout if args.command in ("run", "resume") else None
+    obs.configure_logging(args.log_level, json=args.log_json, stream=log_stream)
+    log = obs.get_logger("repro.campaign.cli")
 
     if args.command == "migrate":
         try:
@@ -244,12 +307,20 @@ def main(argv: list[str]) -> int:
         return 0
 
     if args.command == "serve":
+        # Metrics are on by default for the long-lived service: the whole
+        # point of the `metrics` verb / status snapshot is live introspection.
+        if not args.no_metrics:
+            obs.enable()
+        if args.trace:
+            obs.configure_tracing(path=args.trace)
         service = CampaignService(args.store, workers=args.workers)
         server = CampaignServiceServer(service, host=args.host, port=args.port)
         host, port = server.address
         if args.port_file:
             Path(args.port_file).write_text(f"{host}:{port}")
+        # Scripts parse this stdout line; logging goes to stderr alongside it.
         print(f"campaign service on {host}:{port}, store {service.store.uri}", flush=True)
+        log.info("serving on %s:%d, store %s", host, port, service.store.uri)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -257,11 +328,19 @@ def main(argv: list[str]) -> int:
         finally:
             server.server_close()
             service.shutdown(wait=False)
+            obs.stop_tracing()
         return 0
 
-    if args.command in ("submit", "status", "cancel"):
+    if args.command in ("submit", "status", "cancel", "metrics"):
         with _client(args) as client:
             try:
+                if args.command == "metrics":
+                    payload = client.metrics()
+                    if args.json:
+                        print(json.dumps(payload["metrics"], indent=2, sort_keys=True))
+                    else:
+                        print(payload["prometheus"], end="")
+                    return 0
                 if args.command == "submit":
                     spec = _resolve_spec(
                         args.campaign, ResultStore(args.store), prefer_manifest=False
@@ -316,6 +395,10 @@ def main(argv: list[str]) -> int:
         return 0
 
     if args.command in ("run", "resume"):
+        if args.metrics:
+            obs.enable()
+        if args.trace:
+            obs.configure_tracing(path=args.trace)
         spec = _resolve_spec(args.campaign, store, prefer_manifest=args.command == "resume")
         try:
             summary = run_campaign(
@@ -323,13 +406,19 @@ def main(argv: list[str]) -> int:
                 store,
                 workers=args.workers,
                 resume=args.command == "resume" or not getattr(args, "no_resume", False),
-                log=None if args.json else print,
+                log=None if args.json else log.info,
             )
         except (KeyError, ValueError) as error:
             # Invalid axis values (bad strategy, model class, family...)
             # surface as clean CLI errors, not tracebacks.
             raise SystemExit(f"error: {error.args[0] if error.args else error}") from None
-        return 0 if _print_report(store, spec.name, args.json, run_summary=summary) else 1
+        finally:
+            # Close the sink so the trace file is complete before report time.
+            obs.stop_tracing()
+        metrics = obs.snapshot() if args.metrics else None
+        return 0 if _print_report(
+            store, spec.name, args.json, run_summary=summary, metrics=metrics
+        ) else 1
 
     # report
     try:

@@ -21,15 +21,20 @@ drift between layouts.
 from __future__ import annotations
 
 import json
+import time
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any
 
 from repro.campaign.spec import CampaignSpec, Scenario, canonical_json, content_digest
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 #: Record fields excluded from the record digest (timing noise, not results).
-VOLATILE_FIELDS = ("elapsed_s",)
+#: ``elapsed_apportioned`` qualifies how ``elapsed_s`` was measured, so it is
+#: volatile for the same reason the timing itself is.
+VOLATILE_FIELDS = ("elapsed_s", "elapsed_apportioned")
 
 
 class StoreError(RuntimeError):
@@ -53,10 +58,25 @@ def decode_record(text: str, origin: str) -> dict[str, Any]:
     try:
         record = json.loads(text)
     except json.JSONDecodeError as error:
+        if _metrics.enabled():
+            _metrics.counter("store.corrupt_objects").inc()
         raise StoreError(f"corrupt record object at {origin}: {error}") from None
     if not isinstance(record, dict) or "hash" not in record:
+        if _metrics.enabled():
+            _metrics.counter("store.corrupt_objects").inc()
         raise StoreError(f"corrupt record object at {origin}: not a record document")
     return record
+
+
+def observe_put_many(scheme: str, batch: int, written: int, seconds: float) -> None:
+    """Publish one backend's ``put_many`` batch to the metrics registry."""
+    if not _metrics.enabled():
+        return
+    _metrics.counter(f"store.{scheme}.records_written").inc(written)
+    _metrics.histogram(
+        "store.put_many.batch_size", buckets=_metrics.DEFAULT_SIZE_BUCKETS
+    ).observe(batch)
+    _metrics.histogram(f"store.{scheme}.put_many_seconds").observe(seconds)
 
 
 class StoreBackend(ABC):
@@ -135,12 +155,19 @@ class StoreBackend(ABC):
         Returns the number of records actually written.  A batch that wrote
         nothing (an all-hit resume) must not rewrite any on-disk state.
         """
-        written = 0
-        for record in records:
-            if self.put(record, overwrite=overwrite):
-                written += 1
-        if written:
-            self.save_index()
+        batch = list(records)
+        with _span("store.put_many", backend=self.scheme, batch=len(batch)) as sp:
+            started = time.perf_counter()
+            written = 0
+            for record in batch:
+                if self.put(record, overwrite=overwrite):
+                    written += 1
+            if written:
+                self.save_index()
+            observe_put_many(
+                self.scheme, len(batch), written, time.perf_counter() - started
+            )
+            sp.set(written=written)
         return written
 
     def has_many(self, scenario_hashes: Iterable[str]) -> set[str]:

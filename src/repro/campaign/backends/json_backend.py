@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any
@@ -25,8 +26,10 @@ from repro.campaign.backends.base import (
     StoreBackend,
     StoreError,
     decode_record,
+    observe_put_many,
     record_digest,
 )
+from repro.obs.trace import span as _span
 
 
 class JsonBackend(StoreBackend):
@@ -109,12 +112,19 @@ class JsonBackend(StoreBackend):
         ``index.json`` for zero new records is pure churn.  Returns the
         number of records actually written.
         """
-        written = 0
-        for record in records:
-            if self.put(record, overwrite=overwrite):
-                written += 1
-        if written:
-            self.save_index()
+        batch = list(records)
+        with _span("store.put_many", backend=self.scheme, batch=len(batch)) as sp:
+            started = time.perf_counter()
+            written = 0
+            for record in batch:
+                if self.put(record, overwrite=overwrite):
+                    written += 1
+            if written:
+                self.save_index()
+            observe_put_many(
+                self.scheme, len(batch), written, time.perf_counter() - started
+            )
+            sp.set(written=written)
         return written
 
     def iter_records(self) -> Iterator[dict[str, Any]]:

@@ -30,6 +30,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import Any
@@ -38,8 +39,10 @@ from repro.campaign.backends.base import (
     StoreBackend,
     StoreError,
     decode_record,
+    observe_put_many,
     record_digest,
 )
+from repro.obs.trace import span as _span
 
 #: Hashes per ``WHERE hash IN (...)`` chunk; comfortably under sqlite's
 #: default 999-variable limit.
@@ -191,19 +194,26 @@ class SqliteBackend(StoreBackend):
         ]
         if not rows:
             return 0
-        conn = self._connect(create=True)
-        verb = "INSERT OR REPLACE" if overwrite else "INSERT OR IGNORE"
-        before = conn.total_changes
-        conn.execute("BEGIN IMMEDIATE")
-        try:
-            conn.executemany(
-                f"{verb} INTO objects (hash, digest, record) VALUES (?, ?, ?)", rows
+        with _span("store.put_many", backend=self.scheme, batch=len(rows)) as sp:
+            started = time.perf_counter()
+            conn = self._connect(create=True)
+            verb = "INSERT OR REPLACE" if overwrite else "INSERT OR IGNORE"
+            before = conn.total_changes
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.executemany(
+                    f"{verb} INTO objects (hash, digest, record) VALUES (?, ?, ?)", rows
+                )
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            written = conn.total_changes - before
+            observe_put_many(
+                self.scheme, len(rows), written, time.perf_counter() - started
             )
-        except BaseException:
-            conn.execute("ROLLBACK")
-            raise
-        conn.execute("COMMIT")
-        return conn.total_changes - before
+            sp.set(written=written)
+        return written
 
     def record_digest_of(self, scenario_hash: str) -> str:
         conn = self._connect(create=False)

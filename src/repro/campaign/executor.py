@@ -52,6 +52,9 @@ from repro.modal.algorithm_to_formula import formula_for_machine
 from repro.modal.correspondence import machine_roundtrip_report
 from repro.modal.formula_to_algorithm import algorithm_for_formula
 from repro.modal.encoding import KripkeVariant, kripke_encoding, variant_for_class
+from repro.obs import init_worker as _obs_init_worker, worker_config as _obs_worker_config
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 #: Node budget of the Table 4/5 construction for campaign scenarios.  High
 #: enough for the library machines on the registered graph families, low
@@ -136,9 +139,15 @@ def clear_worker_memo() -> None:
     _WORKER_MACHINE_FORMULAS.clear()
 
 
+def _memo_observe(hit: bool) -> None:
+    if _metrics.enabled():
+        _metrics.counter("campaign.memo.hits" if hit else "campaign.memo.misses").inc()
+
+
 def _materialize(scenario: Scenario) -> tuple[Graph, PortNumbering]:
     point = scenario.graph_point()
     graph = _WORKER_GRAPHS.get(point)
+    _memo_observe(graph is not None)
     if graph is None:
         graph = _memo_put(
             _WORKER_GRAPHS,
@@ -158,6 +167,7 @@ def _worker_algorithm(name: str) -> Any:
     # idempotent on an already-memoizing wrapper) reuse warm tables instead
     # of re-interning every configuration per chunk.
     algorithm = _WORKER_ALGORITHMS.get(name)
+    _memo_observe(algorithm is not None)
     if algorithm is None:
         algorithm = _memo_put(
             _WORKER_ALGORITHMS,
@@ -178,6 +188,7 @@ def _worker_algorithm(name: str) -> Any:
 
 def _worker_formula_set(name: str) -> Any:
     fset = _WORKER_FORMULA_SETS.get(name)
+    _memo_observe(fset is not None)
     if fset is None:
         fset = _memo_put(_WORKER_FORMULA_SETS, name, registry.formula_set(name))
     return fset
@@ -212,9 +223,10 @@ def _execution_records(scenarios: list[Scenario]) -> dict[str, dict[str, Any]]:
         )
         if resolve_engine(engine).batched:
             # Batched engines (sweep, vector) execute the whole group as one
-            # superposed/vectorized batch, so per-scenario wall time is
-            # apportioned evenly -- recording the stream gaps would charge
-            # the entire batch to its first record.  The lazy
+            # superposed/vectorized batch: there is no per-scenario wall
+            # clock to read, so the group time is apportioned evenly and the
+            # record says so (``elapsed_apportioned``) -- a slow outlier is
+            # invisible inside such a group by construction.  The lazy
             # compiled/reference streams below keep genuine per-scenario
             # timings.
             results = list(stream)
@@ -241,7 +253,9 @@ def _execution_records(scenarios: list[Scenario]) -> dict[str, dict[str, Any]]:
                 "outputs": outputs,
                 "output_digest": content_digest(outputs),
             }
-            records[scenario.content_hash()] = _record(scenario, payload, elapsed)
+            records[scenario.content_hash()] = _record(
+                scenario, payload, elapsed, apportioned=apportioned is not None
+            )
     return records
 
 
@@ -300,6 +314,7 @@ def _correspondence_record(scenario: Scenario) -> dict[str, Any]:
     delta = max(graph.max_degree(), 1)
     key = (workload.name, problem_class.value, delta, scenario.engine)
     cached = _WORKER_MACHINE_FORMULAS.get(key)
+    _memo_observe(cached is not None)
     if cached is None:
         machine = workload.build(problem_class, delta)
         formula = formula_for_machine(
@@ -345,31 +360,61 @@ def _correspondence_record(scenario: Scenario) -> dict[str, Any]:
     return _record(scenario, payload, time.perf_counter() - started)
 
 
-def _record(scenario: Scenario, payload: dict[str, Any], elapsed: float) -> dict[str, Any]:
+def _record(
+    scenario: Scenario,
+    payload: dict[str, Any],
+    elapsed: float,
+    apportioned: bool = False,
+) -> dict[str, Any]:
+    if _metrics.enabled():
+        _metrics.counter(f"campaign.scenarios.{scenario.kind}").inc()
+        _metrics.histogram("campaign.record.elapsed_s").observe(elapsed)
     return {
         "hash": scenario.content_hash(),
         "scenario": scenario.to_dict(),
         "kind": scenario.kind,
         "result": payload,
         "elapsed_s": round(elapsed, 6),
+        # True when elapsed_s is an even share of a batched group's wall
+        # time rather than a per-scenario measurement.  Volatile (see
+        # ``backends.base.VOLATILE_FIELDS``), like the timing it qualifies.
+        "elapsed_apportioned": apportioned,
     }
 
 
 def evaluate_scenarios(scenarios: list[Scenario]) -> list[dict[str, Any]]:
     """Evaluate a batch of scenarios, returning records in scenario order."""
-    execution = [scenario for scenario in scenarios if scenario.kind == "execution"]
-    records = _execution_records(execution)
-    for scenario in scenarios:
-        if scenario.kind == "logic":
-            records[scenario.content_hash()] = _logic_record(scenario)
-        elif scenario.kind == "correspondence":
-            records[scenario.content_hash()] = _correspondence_record(scenario)
+    with _span("campaign.shard.evaluate", scenarios=len(scenarios)) as sp:
+        if _metrics.enabled():
+            _metrics.histogram(
+                "campaign.shard.scenarios", buckets=_metrics.DEFAULT_SIZE_BUCKETS
+            ).observe(len(scenarios))
+        execution = [scenario for scenario in scenarios if scenario.kind == "execution"]
+        records = _execution_records(execution)
+        for scenario in scenarios:
+            if scenario.kind == "logic":
+                records[scenario.content_hash()] = _logic_record(scenario)
+            elif scenario.kind == "correspondence":
+                records[scenario.content_hash()] = _correspondence_record(scenario)
+        sp.set(execution=len(execution))
     return [records[scenario.content_hash()] for scenario in scenarios]
 
 
-def _run_shard(scenarios: list[Scenario]) -> list[dict[str, Any]]:
-    """Multiprocessing entry point: one worker evaluates one shard."""
-    return evaluate_scenarios(scenarios)
+def _run_shard(
+    scenarios: list[Scenario],
+) -> tuple[list[dict[str, Any]], dict[str, Any] | None]:
+    """Multiprocessing entry point: one worker evaluates one shard.
+
+    Returns the shard's records plus the worker's metrics delta for this
+    shard (``None`` when telemetry is off), so the parent can fold worker
+    counters into its own registry without double-counting anything a
+    long-lived worker accumulated on earlier shards.
+    """
+    if not _metrics.enabled():
+        return evaluate_scenarios(scenarios), None
+    before = _metrics.snapshot()
+    records = evaluate_scenarios(scenarios)
+    return records, _metrics.snapshot_delta(before, _metrics.snapshot())
 
 
 #: Serial runs persist records to the store after every chunk of this many
@@ -463,21 +508,30 @@ def run_campaign(
     # Records are persisted incrementally -- per shard as it completes, per
     # chunk on the serial path -- so an interrupted run resumes from whatever
     # it got through, not from zero (the index heals from the objects).
-    if pending:
-        if workers and workers > 1 and len(pending) > 1:
-            shard_count = min(workers, len(pending))
-            shards = [pending[i::shard_count] for i in range(shard_count)]
-            with multiprocessing.Pool(shard_count) as pool:
-                for shard_records in pool.imap_unordered(_run_shard, shards):
-                    # One index flush per completed shard: a run that dies
-                    # between shards resumes with a warm index, and the
-                    # object files alone still carry the resume if it dies
-                    # mid-flush (the index is pure acceleration).
-                    store.put_many(shard_records, overwrite=not resume)
-        else:
-            for start in range(0, len(pending), SERIAL_CHUNK):
-                for record in evaluate_scenarios(pending[start : start + SERIAL_CHUNK]):
-                    store.put(record, overwrite=not resume)
+    with _span(
+        "campaign.run", campaign=spec.name, total=len(scenarios), skipped=skipped
+    ) as run_span:
+        if pending:
+            if workers and workers > 1 and len(pending) > 1:
+                shard_count = min(workers, len(pending))
+                shards = [pending[i::shard_count] for i in range(shard_count)]
+                with multiprocessing.Pool(
+                    shard_count, initializer=_obs_init_worker, initargs=(_obs_worker_config(),)
+                ) as pool:
+                    for shard_records, delta in pool.imap_unordered(_run_shard, shards):
+                        # One index flush per completed shard: a run that dies
+                        # between shards resumes with a warm index, and the
+                        # object files alone still carry the resume if it dies
+                        # mid-flush (the index is pure acceleration).
+                        store.put_many(shard_records, overwrite=not resume)
+                        _metrics.merge_snapshot(delta)
+            else:
+                for start in range(0, len(pending), SERIAL_CHUNK):
+                    store.put_many(
+                        evaluate_scenarios(pending[start : start + SERIAL_CHUNK]),
+                        overwrite=not resume,
+                    )
+        run_span.set(executed=len(pending))
 
     manifest_path, manifest_digest = store.write_manifest(spec, scenarios)
     # Flush the index only after the manifest pass, which may have

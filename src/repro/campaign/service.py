@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import logging
 import queue
 import socket
 import socketserver
@@ -49,6 +50,11 @@ from repro.campaign.builtin import BUILTIN_CAMPAIGNS, builtin_spec
 from repro.campaign.executor import _run_shard, evaluate_scenarios
 from repro.campaign.spec import CampaignSpec, Scenario
 from repro.campaign.store import ResultStore
+from repro.obs import init_worker as _obs_init_worker, worker_config as _obs_worker_config
+from repro.obs import metrics as _metrics
+from repro.obs.export import prometheus_text
+
+_log = logging.getLogger("repro.campaign.service")
 
 #: Scenarios per dispatched work unit.  Small enough for responsive progress
 #: and cancellation, large enough that the batched engines still see
@@ -139,7 +145,11 @@ class CampaignService:
         if self.workers > 1:
             import multiprocessing
 
-            self._pool = multiprocessing.Pool(self.workers)
+            self._pool = multiprocessing.Pool(
+                self.workers,
+                initializer=_obs_init_worker,
+                initargs=(_obs_worker_config(),),
+            )
         self._closed = False
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="campaign-dispatch", daemon=True
@@ -203,8 +213,21 @@ class CampaignService:
                     to_run.append(job.by_hash[scenario_hash])
             job.store_hits = len(hit_hashes)
             job.status = "running"
+            if _metrics.enabled():
+                _metrics.counter("service.jobs.submitted").inc()
+                _metrics.counter("service.scenarios.submitted").inc(job.total)
+                _metrics.counter("service.scenarios.store_hits").inc(job.store_hits)
+                _metrics.counter("service.scenarios.inflight_hits").inc(job.inflight_hits)
             if job.total == 0:
                 self._finalize_locked(job)
+        _log.info(
+            "submit %s campaign=%s total=%d store_hits=%d inflight_hits=%d",
+            job.job_id,
+            spec.name,
+            job.total,
+            job.store_hits,
+            job.inflight_hits,
+        )
 
         if hit_hashes:
             self._completions.put(("hits", job.job_id, hit_hashes))
@@ -225,26 +248,41 @@ class CampaignService:
                 return False
             job.status = "cancelled"
             job.finished_at = time.time()
+            if _metrics.enabled():
+                _metrics.counter("service.jobs.cancelled").inc()
+                _metrics.counter("service.scenarios.unanswered").inc(len(job.waiting))
             for scenario_hash in job.waiting:
                 waiters = self._waiters.get(scenario_hash)
                 if waiters and job_id in waiters:
                     waiters.remove(job_id)
             job.waiting.clear()
             self._turnstile.notify_all()
+            _log.info("cancel %s campaign=%s", job_id, job.spec.name)
             return True
 
     def status(self, job_id: str | None = None) -> dict[str, Any]:
-        """A snapshot: one job's counters, or the whole service."""
+        """A snapshot: one job's counters, or the whole service.
+
+        The service-wide payload carries a live metrics snapshot
+        (``"metrics"``), so a running service is introspectable over the
+        same verb that reports its jobs.
+        """
         with self._lock:
             if job_id is not None:
                 return self._job(job_id).to_dict()
-            return {
+            payload = {
                 "store": self.store.uri,
                 "backend": self.store.scheme,
                 "workers": self.workers,
                 "records": None,  # filled outside the lock (store access)
                 "jobs": [self._jobs[jid].to_dict() for jid in self._order],
             }
+        payload["metrics"] = self.metrics_snapshot()
+        return payload
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The process-wide metrics registry snapshot (live, never cached)."""
+        return _metrics.snapshot()
 
     def wait(self, job_id: str | None = None, timeout: float | None = None) -> bool:
         """Block until the job (or every job) reaches a terminal state."""
@@ -343,8 +381,8 @@ class CampaignService:
                 self._pool.apply_async(
                     _run_shard,
                     (keep,),
-                    callback=lambda records, jid=job_id: self._completions.put(
-                        ("records", jid, records)
+                    callback=lambda result, jid=job_id: self._completions.put(
+                        ("records", jid, result)
                     ),
                     error_callback=lambda error, jid=job_id, batch=keep: (
                         self._completions.put(("error", jid, batch, error))
@@ -352,11 +390,13 @@ class CampaignService:
                 )
             else:
                 try:
+                    # In-process evaluation updates the live registry
+                    # directly; only pool workers ship a delta back.
                     records = evaluate_scenarios(keep)
                 except Exception as error:  # noqa: BLE001 - job-level failure
                     self._completions.put(("error", job_id, keep, error))
                 else:
-                    self._completions.put(("records", job_id, records))
+                    self._completions.put(("records", job_id, (records, None)))
 
     def _completion_loop(self) -> None:
         while True:
@@ -393,10 +433,17 @@ class CampaignService:
                 job = self._jobs[job_id]
                 rerun = []
                 for scenario_hash in requeue:
+                    # Mirror the demotion in the service counters: negative
+                    # increments keep the registry tracking the same
+                    # reclassification the per-job fields record.
                     job.store_hits -= 1
+                    if _metrics.enabled():
+                        _metrics.counter("service.scenarios.store_hits").inc(-1)
                     if self._inflight.get(scenario_hash):
                         self._waiters[scenario_hash].append(job_id)
                         job.inflight_hits += 1
+                        if _metrics.enabled():
+                            _metrics.counter("service.scenarios.inflight_hits").inc()
                     else:
                         self._inflight[scenario_hash] = job_id
                         self._waiters.setdefault(scenario_hash, []).append(job_id)
@@ -410,7 +457,11 @@ class CampaignService:
             if not job.waiting and job.status == "running":
                 self._finalize_locked(job)
 
-    def _fold_shard(self, job_id: str, records: list[dict[str, Any]]) -> None:
+    def _fold_shard(
+        self, job_id: str, shard_result: tuple[list[dict[str, Any]], dict[str, Any] | None]
+    ) -> None:
+        records, metrics_delta = shard_result
+        _metrics.merge_snapshot(metrics_delta)
         job = self._jobs[job_id]
         self.store.put_many(records, overwrite=not job.resume)
         with self._lock:
@@ -438,6 +489,8 @@ class CampaignService:
             job.rollup.fold(record)
             if jid == owner:
                 job.executed += 1
+                if _metrics.enabled():
+                    _metrics.counter("service.scenarios.executed").inc()
             touched.add(jid)
         return touched
 
@@ -458,8 +511,12 @@ class CampaignService:
         job.status = "failed"
         job.error = message
         job.finished_at = time.time()
+        if _metrics.enabled():
+            _metrics.counter("service.jobs.failed").inc()
+            _metrics.counter("service.scenarios.unanswered").inc(len(job.waiting))
         job.waiting.clear()
         self._turnstile.notify_all()
+        _log.warning("fail %s campaign=%s: %s", job.job_id, job.spec.name, message)
 
     def _finalize_locked(self, job: Job) -> None:
         """Every scenario answered: write the manifest and mark the job done.
@@ -478,7 +535,12 @@ class CampaignService:
         job.manifest_digest = digest
         job.status = "done"
         job.finished_at = time.time()
+        if _metrics.enabled():
+            _metrics.counter("service.jobs.done").inc()
         self._turnstile.notify_all()
+        _log.info(
+            "done %s campaign=%s manifest=%s", job.job_id, job.spec.name, digest[:12]
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -490,8 +552,9 @@ def handle_request(service: CampaignService, request: dict[str, Any]) -> dict[st
     """Execute one protocol request against the service.
 
     Commands: ``ping``, ``submit`` (spec dict or builtin name), ``status``,
-    ``cancel``, ``report``, ``shutdown``.  Every response carries ``ok``;
-    failures carry ``error`` instead of raising across the wire.
+    ``metrics``, ``cancel``, ``report``, ``shutdown``.  Every response
+    carries ``ok``; failures carry ``error`` instead of raising across the
+    wire.
     """
     try:
         command = request.get("cmd")
@@ -515,6 +578,9 @@ def handle_request(service: CampaignService, request: dict[str, Any]) -> dict[st
             if "jobs" in payload:
                 payload["records"] = service.store.count_records()
             return {"ok": True, **payload}
+        if command == "metrics":
+            snap = service.metrics_snapshot()
+            return {"ok": True, "metrics": snap, "prometheus": prometheus_text(snap)}
         if command == "cancel":
             cancelled = service.cancel(request["job"])
             return {"ok": True, "cancelled": cancelled, **service.status(request["job"])}
@@ -602,6 +668,10 @@ class ServiceClient:
         if job_id is not None:
             payload["job"] = job_id
         return self.request(payload)
+
+    def metrics(self) -> dict[str, Any]:
+        """The service's live metrics: ``{"metrics": snapshot, "prometheus": text}``."""
+        return self.request({"cmd": "metrics"})
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self.request({"cmd": "cancel", "job": job_id})

@@ -49,6 +49,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import metrics as _metrics
+
 __all__ = [
     "CAPABILITIES",
     "EngineCapabilityError",
@@ -105,6 +107,8 @@ def numpy_or_none() -> Any:
             _NUMPY = numpy
         except ImportError:
             _NUMPY = None
+    if _metrics.enabled():
+        _metrics.gauge("engines.numpy_available").set(0 if _NUMPY is None else 1)
     return _NUMPY
 
 

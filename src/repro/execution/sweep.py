@@ -61,6 +61,8 @@ from repro.graphs.graph import Node
 from repro.machines.algorithm import NO_MESSAGE, Algorithm, Output
 from repro.machines.fastpath import FastPathAlgorithm, fast_path
 from repro.machines.models import ReceiveMode, SendMode
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span, tracing_enabled as _tracing
 from repro.execution.engine import (
     DEFAULT_MAX_ROUNDS,
     CompiledInstance,
@@ -75,7 +77,9 @@ __all__ = [
     "SweepTables",
     "collapse_instances",
     "delivery_signature_of",
+    "publish_stats",
     "run_sweep",
+    "stats_values",
     "sweep_tables_for",
 ]
 
@@ -222,6 +226,49 @@ class SweepStats:
         }
 
 
+_STATS_FIELDS = (
+    "instances",
+    "executed",
+    "replicated",
+    "rounds",
+    "occurrences",
+    "replicated_occurrences",
+    "evaluations",
+    "distinct_states",
+    "distinct_messages",
+)
+
+
+def stats_values(stats: SweepStats) -> tuple[int, ...]:
+    """Raw field vector of a stats object (for before/after delta capture)."""
+    return tuple(getattr(stats, field) for field in _STATS_FIELDS)
+
+
+def publish_stats(prefix: str, stats: SweepStats, before: tuple[int, ...], sp) -> None:
+    """Publish the per-call delta of an accumulated stats object.
+
+    ``SweepStats`` remains the caller-facing compatibility view; this folds
+    the same numbers into the process-wide registry as ``{prefix}.*``
+    counters and attaches the headline figures to the enclosing span.
+    """
+    deltas = {
+        field: value - prior
+        for field, value, prior in zip(_STATS_FIELDS, stats_values(stats), before)
+    }
+    if _metrics.enabled():
+        for field, delta in deltas.items():
+            if delta:
+                _metrics.counter(f"{prefix}.{field}").inc(delta)
+    naive = deltas["occurrences"] + deltas["replicated_occurrences"]
+    sp.set(
+        instances=deltas["instances"],
+        executed=deltas["executed"],
+        evaluations=deltas["evaluations"],
+        naive_occurrences=naive,
+        distinct_states=deltas["distinct_states"],
+    )
+
+
 class SweepTables:
     """Dense-id interning tables shared across the sweeps of one algorithm.
 
@@ -360,6 +407,12 @@ def run_sweep(
 
     fast = fast_path(algorithm)
     tables = sweep_tables_for(fast)
+    # With telemetry on, the registry gets the same work account the stats
+    # object accumulates -- allocate one if the caller did not ask for it.
+    observing = _metrics.enabled() or _tracing()
+    if observing and stats is None:
+        stats = SweepStats()
+    before = stats_values(stats) if stats is not None else None
     states_before = len(tables.state_values)
     messages_before = len(tables.msg_values)
     results: list[ExecutionResult | None] = [None] * len(compiled)
@@ -370,21 +423,24 @@ def run_sweep(
     groups: dict[int, list[int]] = {}
     for index, instance in enumerate(compiled):
         groups.setdefault(id(instance.topology), []).append(index)
-    for indices in groups.values():
-        _sweep_group(
-            fast,
-            tables,
-            [compiled[i] for i in indices],
-            indices,
-            max_rounds,
-            [per_inputs[i] for i in indices],
-            results,
-            stats,
-        )
-    if stats is not None:
-        stats.instances += len(compiled)
-        stats.distinct_states += len(tables.state_values) - states_before
-        stats.distinct_messages += len(tables.msg_values) - messages_before
+    with _span("engine.sweep.run", engine="sweep") as sp:
+        for indices in groups.values():
+            _sweep_group(
+                fast,
+                tables,
+                [compiled[i] for i in indices],
+                indices,
+                max_rounds,
+                [per_inputs[i] for i in indices],
+                results,
+                stats,
+            )
+        if stats is not None:
+            stats.instances += len(compiled)
+            stats.distinct_states += len(tables.state_values) - states_before
+            stats.distinct_messages += len(tables.msg_values) - messages_before
+            if observing:
+                publish_stats("sweep", stats, before, sp)
     if require_halt:
         for index, result in enumerate(results):
             if result is not None and not result.halted:

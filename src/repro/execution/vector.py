@@ -69,8 +69,12 @@ from repro.execution.sweep import (
     SweepTables,
     collapse_instances,
     delivery_signature_of,
+    publish_stats,
+    stats_values,
     sweep_tables_for,
 )
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span, tracing_enabled as _tracing
 
 __all__ = ["VectorTables", "run_vector", "vector_tables_for"]
 
@@ -227,6 +231,12 @@ def run_vector(
     fast = fast_path(algorithm)
     tables = sweep_tables_for(fast)
     vtables = vector_tables_for(fast)
+    observing = _metrics.enabled() or _tracing()
+    if observing:
+        _metrics.gauge("engines.numpy_available").set(1)
+        if stats is None:
+            stats = SweepStats()
+    before = stats_values(stats) if stats is not None else None
     states_before = len(tables.state_values)
     messages_before = len(tables.msg_values)
     results: list[ExecutionResult | None] = [None] * len(compiled)
@@ -234,23 +244,26 @@ def run_vector(
     groups: dict[int, list[int]] = {}
     for index, instance in enumerate(compiled):
         groups.setdefault(id(instance.topology), []).append(index)
-    for indices in groups.values():
-        _vector_group(
-            np,
-            fast,
-            tables,
-            vtables,
-            [compiled[i] for i in indices],
-            indices,
-            max_rounds,
-            [per_inputs[i] for i in indices],
-            results,
-            stats,
-        )
-    if stats is not None:
-        stats.instances += len(compiled)
-        stats.distinct_states += len(tables.state_values) - states_before
-        stats.distinct_messages += len(tables.msg_values) - messages_before
+    with _span("engine.vector.run", engine="vector") as sp:
+        for indices in groups.values():
+            _vector_group(
+                np,
+                fast,
+                tables,
+                vtables,
+                [compiled[i] for i in indices],
+                indices,
+                max_rounds,
+                [per_inputs[i] for i in indices],
+                results,
+                stats,
+            )
+        if stats is not None:
+            stats.instances += len(compiled)
+            stats.distinct_states += len(tables.state_values) - states_before
+            stats.distinct_messages += len(tables.msg_values) - messages_before
+            if observing:
+                publish_stats("vector", stats, before, sp)
     if require_halt:
         for index, result in enumerate(results):
             if result is not None and not result.halted:
@@ -437,6 +450,8 @@ def _vector_group(
     walk = np.zeros(reps, dtype=np.int64)
     evaluations = 0
     occurrences = 0
+    fastpath_rounds = 0
+    sortpath_rounds = 0
 
     # Per-call transition map over scalar base-packed row keys: sorted keys
     # with their new sids, applied by one np.searchsorted per round.  Valid
@@ -547,6 +562,10 @@ def _vector_group(
                 else:
                     pack_base = -1
                     pack_keys = pack_sids = None
+            if handled:
+                fastpath_rounds += 1
+            else:
+                sortpath_rounds += 1
             state[live] = st
 
         occurrences += int(alive.sum())
@@ -611,3 +630,10 @@ def _vector_group(
         stats.occurrences += occurrences
         stats.replicated_occurrences += replicated_occurrences
         stats.evaluations += evaluations
+    if _metrics.enabled():
+        # Row-dedup path split: rounds fully served by the sorted pack-key
+        # probe vs. rounds that needed the np.unique sort pass.
+        if fastpath_rounds:
+            _metrics.counter("vector.rounds_fastpath").inc(fastpath_rounds)
+        if sortpath_rounds:
+            _metrics.counter("vector.rounds_sortpath").inc(sortpath_rounds)

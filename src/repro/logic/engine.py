@@ -63,6 +63,7 @@ from repro.logic.syntax import (
 )
 
 from repro.engines.registry import engine_names, resolve_engine
+from repro.obs import metrics as _metrics
 
 #: Logic-engine backends selectable by wrappers, benchmarks and A/B tests,
 #: in registry order: the compiled bitset engine, the seed reference
@@ -286,6 +287,8 @@ class CompiledKripke:
         root = formula.node_id
         hit = cache.get(root)
         if hit is not None:
+            if _metrics.enabled():
+                _metrics.counter("logic.extension.cache_hits").inc()
             return hit
         pool = formula_pool()
         kinds, kids_of, payloads = pool.kinds, pool.children, pool.payloads
@@ -345,6 +348,8 @@ class CompiledKripke:
                                 out[i >> 3] |= 1 << (i & 7)
                         bits = int.from_bytes(out, "little")
             cache[node] = bits
+        if _metrics.enabled():
+            _metrics.counter("logic.extension.nodes_evaluated").inc(len(needed))
         return cache[root]
 
     def extension(self, formula: Formula, cache: dict[int, int] | None = None) -> frozenset[World]:
@@ -578,6 +583,13 @@ def check_many(
     ignored.
     """
     engine = check_engine(engine, "check_many")
+    formulas = list(formulas)
+    if _metrics.enabled():
+        _metrics.counter("logic.check_many.calls").inc()
+        _metrics.histogram(
+            "logic.check_many.batch_size",
+            buckets=_metrics.DEFAULT_SIZE_BUCKETS,
+        ).observe(len(formulas))
     if engine == "reference":
         from repro.logic.semantics import reference_extension
 

@@ -1,0 +1,77 @@
+"""Structured logging with span correlation.
+
+:func:`configure_logging` sets up one handler on the ``repro`` logger and
+injects the current span id (when a trace span is active) into every
+record, so log lines can be joined against trace events.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.obs import trace as _trace
+
+__all__ = ["configure_logging", "get_logger", "SpanContextFilter", "JsonFormatter"]
+
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+class SpanContextFilter(logging.Filter):
+    """Attach ``record.span`` from the active trace span (``-`` when none)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.span = _trace.current_span_id() or "-"
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+            "span": getattr(record, "span", "-"),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_logging(
+    level: int | str = "info",
+    json: bool = False,  # noqa: A002 - mirrors the issue's API spec
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger once; safe to call repeatedly."""
+
+    if isinstance(level, str):
+        level = getattr(logging, level.upper(), logging.INFO)
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    setattr(handler, _HANDLER_TAG, True)
+    handler.addFilter(SpanContextFilter())
+    if json:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s [%(span)s] %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    return logging.getLogger(name)

@@ -1,0 +1,361 @@
+"""Process-wide metrics registry: counters, gauges, and histograms.
+
+Design goals, in order:
+
+1. Near-zero overhead when disabled.  Every mutator starts with a single
+   module-global boolean check and returns immediately when telemetry is
+   off, so instrumented hot paths pay one attribute load per call site.
+2. Thread safety when enabled.  Each metric guards its state with its own
+   lock; the registry lock only covers get-or-create.
+3. Mergeable across processes.  Workers take a :func:`snapshot` before and
+   after a shard, send back the :func:`snapshot_delta`, and the parent
+   folds it in with :func:`merge_snapshot`.  Counters and histogram cells
+   add; gauges take the incoming value (last writer wins).
+
+Counters accept negative increments on purpose: the campaign service
+re-classifies scenarios when an in-flight owner fails (a store hit can be
+demoted back to an executed scenario), and the mirror counters must follow.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "enable",
+    "disable",
+    "enabled",
+    "set_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "merge_snapshot",
+    "snapshot_delta",
+    "reset",
+]
+
+_ENABLED = False
+
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+DEFAULT_SIZE_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0)
+
+
+def enabled() -> bool:
+    """Return whether metric mutations are currently recorded."""
+
+    return _ENABLED
+
+
+def enable() -> None:
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def set_enabled(flag: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+class Counter:
+    """Monotonic-by-convention additive metric (negative deltas allowed)."""
+
+    kind = "counter"
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _snapshot(self) -> float:
+        return self._value
+
+    def _merge(self, value: float) -> None:
+        with self._lock:
+            self._value += value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """Point-in-time value.  Merge semantics: incoming value wins."""
+
+    kind = "gauge"
+    __slots__ = ("name", "description", "_value", "_lock")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _snapshot(self) -> float:
+        return self._value
+
+    def _merge(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-boundary histogram with a cumulative-on-export bucket layout.
+
+    ``counts[i]`` holds observations with ``value <= buckets[i]``; the final
+    cell is the overflow (+Inf) bucket.  Boundaries are fixed at creation so
+    snapshots from different processes always line up cell-for-cell.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "description", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs sorted, non-empty buckets")
+        self.name = name
+        self.description = description
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def _snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def _merge(self, value: dict[str, Any]) -> None:
+        incoming = list(value.get("counts", ()))
+        with self._lock:
+            if len(incoming) == len(self._counts):
+                for i, cell in enumerate(incoming):
+                    self._counts[i] += cell
+            self._sum += float(value.get("sum", 0.0))
+            self._count += int(value.get("count", 0))
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """Get-or-create store for named metrics plus snapshot/merge plumbing."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}, not {kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, description), "counter")
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, description), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, description, buckets), "histogram"
+        )
+
+    def metrics(self) -> dict[str, Any]:
+        with self._lock:
+            return dict(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data snapshot, JSON- and pickle-safe, stable key order."""
+
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self.metrics()):
+            metric = self._metrics[name]
+            out[metric.kind + "s"][name] = metric._snapshot()
+        return out
+
+    def merge(self, snap: dict[str, Any] | None) -> None:
+        """Fold a snapshot (usually a worker's delta) into live metrics.
+
+        Merging is an explicit aggregation step, so it applies even while
+        the registry is disabled — a parent that ran workers with metrics
+        on must not silently drop their results.
+        """
+
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name)._merge(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name)._merge(value)
+        for name, value in snap.get("histograms", {}).items():
+            buckets = value.get("buckets") or DEFAULT_LATENCY_BUCKETS
+            self.histogram(name, buckets=buckets)._merge(value)
+
+    def reset(self) -> None:
+        for metric in self.metrics().values():
+            metric._reset()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, description: str = "") -> Counter:
+    return REGISTRY.counter(name, description)
+
+
+def gauge(name: str, description: str = "") -> Gauge:
+    return REGISTRY.gauge(name, description)
+
+
+def histogram(
+    name: str,
+    description: str = "",
+    buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+) -> Histogram:
+    return REGISTRY.histogram(name, description, buckets)
+
+
+def snapshot() -> dict[str, Any]:
+    return REGISTRY.snapshot()
+
+
+def merge_snapshot(snap: dict[str, Any] | None) -> None:
+    REGISTRY.merge(snap)
+
+
+def reset() -> None:
+    REGISTRY.reset()
+
+
+def snapshot_delta(before: dict[str, Any], after: dict[str, Any]) -> dict[str, Any]:
+    """Return ``after - before`` cell-wise; gauges keep the ``after`` value."""
+
+    delta: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    prior = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        diff = value - prior.get(name, 0.0)
+        if diff:
+            delta["counters"][name] = diff
+    delta["gauges"] = dict(after.get("gauges", {}))
+    prior_hists = before.get("histograms", {})
+    for name, value in after.get("histograms", {}).items():
+        old = prior_hists.get(name)
+        if old is None:
+            if value.get("count"):
+                delta["histograms"][name] = value
+            continue
+        counts = [c - o for c, o in zip(value["counts"], old["counts"])]
+        if any(counts):
+            delta["histograms"][name] = {
+                "buckets": list(value["buckets"]),
+                "counts": counts,
+                "sum": value["sum"] - old["sum"],
+                "count": value["count"] - old["count"],
+            }
+    return delta

@@ -1,0 +1,205 @@
+"""Span tracing: nested timing events with a ring buffer and a file sink.
+
+A span is opened with the :func:`span` context manager::
+
+    with span("engine.sweep.run", instances=12) as sp:
+        ...
+        sp.set(evaluations=evaluations)
+
+When tracing is not configured the context manager yields a shared no-op
+span and does nothing else, so instrumented code needs no gating of its
+own.  When configured, one JSON event is emitted at span *exit* carrying
+monotonic start/end timestamps, the parent span id (spans nest per
+thread), the pid, and any attributes.
+
+Events go to a bounded in-memory ring buffer and, optionally, to a
+JSON-lines file opened in append mode.  Each event is written as a single
+``write()`` of one line, which on Linux is atomic for lines under the pipe
+buffer size — forked campaign workers can therefore share one trace file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "span",
+    "configure_tracing",
+    "stop_tracing",
+    "tracing_enabled",
+    "trace_path",
+    "ring_events",
+    "clear_ring",
+    "flush",
+    "current_span_id",
+]
+
+DEFAULT_RING = 1024
+
+_lock = threading.Lock()
+_active = False
+_ring: deque[dict[str, Any]] = deque(maxlen=DEFAULT_RING)
+_sink = None
+_sink_path: str | None = None
+_ids = itertools.count(1)
+_tls = threading.local()
+
+
+class Span:
+    __slots__ = ("name", "span_id", "parent_id", "start", "attrs")
+
+    def __init__(self, name: str, span_id: str, parent_id: str | None, **attrs: Any) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.monotonic()
+        self.attrs = dict(attrs)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes before the span closes."""
+
+        self.attrs.update(attrs)
+
+
+class _NoopSpan:
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    attrs: dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+def tracing_enabled() -> bool:
+    return _active
+
+
+def trace_path() -> str | None:
+    return _sink_path
+
+
+def configure_tracing(path: str | None = None, ring: int = DEFAULT_RING) -> None:
+    """Turn tracing on, optionally appending events to ``path``.
+
+    Safe to call again (e.g. in a pool worker after fork): the previous
+    sink handle is replaced by a fresh append-mode handle so buffered
+    writes never interleave between processes.
+    """
+
+    global _active, _ring, _sink, _sink_path
+    with _lock:
+        if _sink is not None:
+            try:
+                _sink.close()
+            except OSError:
+                pass
+            _sink = None
+        _ring = deque(_ring, maxlen=ring)
+        if path is not None:
+            parent = os.path.dirname(os.fspath(path))
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            _sink = open(path, "a", encoding="utf-8")
+            _sink_path = os.fspath(path)
+        else:
+            _sink_path = None
+        _active = True
+
+
+def stop_tracing() -> None:
+    global _active, _sink, _sink_path
+    with _lock:
+        _active = False
+        if _sink is not None:
+            try:
+                _sink.flush()
+                _sink.close()
+            except OSError:
+                pass
+        _sink = None
+        _sink_path = None
+
+
+def flush() -> None:
+    with _lock:
+        if _sink is not None:
+            _sink.flush()
+
+
+def ring_events() -> list[dict[str, Any]]:
+    with _lock:
+        return list(_ring)
+
+
+def clear_ring() -> None:
+    with _lock:
+        _ring.clear()
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current_span_id() -> str | None:
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1].span_id
+    return None
+
+
+def _emit(event: dict[str, Any]) -> None:
+    with _lock:
+        _ring.append(event)
+        if _sink is not None:
+            try:
+                _sink.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+                _sink.flush()
+            except (OSError, ValueError):
+                pass
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | _NoopSpan]:
+    if not _active:
+        yield _NOOP
+        return
+    stack = _stack()
+    parent = stack[-1].span_id if stack else None
+    sp = Span(name, f"{os.getpid()}-{next(_ids)}", parent, **attrs)
+    stack.append(sp)
+    try:
+        yield sp
+    finally:
+        stack.pop()
+        end = time.monotonic()
+        _emit(
+            {
+                "name": sp.name,
+                "span": sp.span_id,
+                "parent": sp.parent_id,
+                "pid": os.getpid(),
+                "thread": threading.current_thread().name,
+                "t_start": sp.start,
+                "t_end": end,
+                "dur_s": end - sp.start,
+                "wall": time.time(),
+                "attrs": sp.attrs,
+            }
+        )
