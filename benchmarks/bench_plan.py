@@ -1,0 +1,252 @@
+"""Benchmark the cross-campaign kernel plan cache (PR 9).
+
+Three pair families, all over the same adversarial port-numbering sweeps:
+
+* **store temperature** -- ``test_plan_store_sweep``: a cold wrapper that
+  rebuilds its interned transition tables by evaluating every distinct
+  configuration vs a warm wrapper that loads the pickled
+  :class:`~repro.execution.plan.KernelPlan` artifact back out of a real
+  json store (``get_artifact`` + ``from_bytes`` + ``install_plan`` are all
+  inside the timed region) and replays the sweep with **zero** transition
+  evaluations.  The workload is the Theorem 2 formula-compiled algorithms,
+  whose per-configuration modal evaluation is expensive enough that the
+  table build dominates the cold run.
+* **shared-memory map** -- ``test_plan_shm_sweep``: per-worker cold rebuild
+  vs attaching the :class:`~repro.execution.plan.PlanPublisher` segment via
+  :func:`~repro.execution.plan.load_plans` (one ``frombuffer`` map + pickle
+  header per shard worker) and installing the warm tables.
+* **mega-batch arena** -- ``test_plan_arena_vector``: the vector engine's
+  per-topology-family grouped invocations vs the single padded-arena
+  ``run_vector`` call over the whole multi-family shard.
+
+``benchmarks/run_all.py`` turns these into ``plan_pairs`` /
+``geomean_plan_speedup`` (and the warm-only ``geomean_warm_plan_speedup``
+that CI floors at 1.5x).  Set ``REPRO_BENCH_SMOKE=1`` for the CI budget.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+
+import pytest
+
+from repro.campaign.registry import build_algorithm
+from repro.campaign.store import ResultStore
+from repro.execution.plan import (
+    ARTIFACT_KIND,
+    KernelPlan,
+    PlanPublisher,
+    capture_plan,
+    install_plan,
+    load_plans,
+    plan_key,
+)
+from repro.execution.sweep import SweepStats, run_sweep
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    star_graph,
+)
+from repro.graphs.ports import random_port_numbering
+from repro.machines.fastpath import fast_path
+from repro.machines.library import reference_machine
+from repro.machines.models import ProblemClass
+from repro.modal.algorithm_to_formula import formula_for_machine
+from repro.modal.formula_to_algorithm import algorithm_for_formula
+
+try:  # pre-import so the first timed region never pays the numpy import
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is part of the image
+    HAVE_NUMPY = False
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 1 if SMOKE else 3
+MAX_ROUNDS = 30
+
+#: Sweep workload: diverse bounded-degree graphs so the formula algorithms
+#: see many distinct local views (each one a costly modal evaluation).
+SWEEP_GRAPHS = 6 if SMOKE else 12
+NUMBERINGS_PER_GRAPH = 2
+
+_rng = random.Random(5)
+SWEEP_INSTANCES = []
+for _i in range(SWEEP_GRAPHS):
+    _graph = random_bounded_degree_graph(9 + _i, 2, seed=_rng.randint(0, 10**9))
+    for _ in range(NUMBERINGS_PER_GRAPH):
+        SWEEP_INSTANCES.append((_graph, random_port_numbering(_graph, rng=_rng)))
+
+
+def _formula_algorithm(cls: str):
+    machine = reference_machine(ProblemClass(cls), 2, rounds=2)
+    formula = formula_for_machine(machine, ProblemClass(cls), 2)
+    return algorithm_for_formula(formula, ProblemClass(cls))
+
+
+PLAN_CASES = ("MV", "SV", "VV")
+_ALGORITHMS = {cls: _formula_algorithm(cls) for cls in PLAN_CASES}
+
+#: Reference plans captured once from a full cold sweep; the benchmarks
+#: re-load them through the store / the shm segment inside the timed region.
+_PLANS: dict[str, KernelPlan] = {}
+for _cls, _algorithm in _ALGORITHMS.items():
+    _fast = fast_path(_algorithm, memoize_transitions=True)
+    run_sweep(_fast, SWEEP_INSTANCES, require_halt=False, max_rounds=MAX_ROUNDS)
+    _PLANS[_cls] = capture_plan(_fast)
+
+
+@pytest.fixture(scope="module")
+def plan_store():
+    root = tempfile.mkdtemp(prefix="bench-plan-")
+    store = ResultStore(root)
+    for cls, plan in _PLANS.items():
+        key = plan_key(fast_path(_ALGORITHMS[cls], memoize_transitions=True), "sweep")
+        store.put_artifact(ARTIFACT_KIND, key, plan.to_bytes())
+    try:
+        yield store
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def published_ref():
+    publisher = PlanPublisher()
+    ref = publisher.publish(dict(_PLANS))
+    try:
+        yield ref
+    finally:
+        publisher.close()
+
+
+def _cold_sweep(cls: str) -> SweepStats:
+    fast = fast_path(_ALGORITHMS[cls], memoize_transitions=True)
+    stats = SweepStats()
+    run_sweep(
+        fast, SWEEP_INSTANCES, require_halt=False, max_rounds=MAX_ROUNDS, stats=stats
+    )
+    return stats
+
+
+# --------------------------------------------------------------------------- #
+# Pair 1: cold table build vs store-loaded plan artifact
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("temperature", ["cold", "warm"], ids=["cold", "warm"])
+@pytest.mark.parametrize("cls", PLAN_CASES, ids=PLAN_CASES)
+def test_plan_store_sweep(benchmark, plan_store, cls, temperature):
+    key = plan_key(fast_path(_ALGORITHMS[cls], memoize_transitions=True), "sweep")
+
+    def warm_run() -> SweepStats:
+        blob = plan_store.get_artifact(ARTIFACT_KIND, key)
+        fast = fast_path(_ALGORITHMS[cls], memoize_transitions=True)
+        install_plan(fast, KernelPlan.from_bytes(blob))
+        stats = SweepStats()
+        run_sweep(
+            fast,
+            SWEEP_INSTANCES,
+            require_halt=False,
+            max_rounds=MAX_ROUNDS,
+            stats=stats,
+        )
+        return stats
+
+    fn = (lambda: _cold_sweep(cls)) if temperature == "cold" else warm_run
+    stats = benchmark.pedantic(fn, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["instances"] = len(SWEEP_INSTANCES)
+    benchmark.extra_info["evaluations"] = stats.evaluations
+    benchmark.extra_info["plan_bytes"] = len(_PLANS[cls].to_bytes())
+    if temperature == "warm":
+        assert stats.evaluations == 0  # every configuration served by the plan
+
+
+# --------------------------------------------------------------------------- #
+# Pair 2: per-worker cold rebuild vs shared-memory plan map
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("temperature", ["cold", "warm"], ids=["cold", "warm"])
+@pytest.mark.parametrize("cls", PLAN_CASES, ids=PLAN_CASES)
+def test_plan_shm_sweep(benchmark, published_ref, cls, temperature):
+    def warm_run() -> SweepStats:
+        plans = load_plans(published_ref)
+        fast = fast_path(_ALGORITHMS[cls], memoize_transitions=True)
+        install_plan(fast, plans[cls])
+        stats = SweepStats()
+        run_sweep(
+            fast,
+            SWEEP_INSTANCES,
+            require_halt=False,
+            max_rounds=MAX_ROUNDS,
+            stats=stats,
+        )
+        return stats
+
+    fn = (lambda: _cold_sweep(cls)) if temperature == "cold" else warm_run
+    stats = benchmark.pedantic(fn, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["instances"] = len(SWEEP_INSTANCES)
+    benchmark.extra_info["evaluations"] = stats.evaluations
+    benchmark.extra_info["ref_kind"] = published_ref.kind if published_ref else "none"
+    if temperature == "warm":
+        assert stats.evaluations == 0
+
+
+# --------------------------------------------------------------------------- #
+# Pair 3: grouped per-family invocations vs one padded mega-batch arena
+# --------------------------------------------------------------------------- #
+
+ARENA_FAMILIES = 16 if SMOKE else 32
+ARENA_NUMBERINGS = 3 if SMOKE else 4
+
+_arena_rng = random.Random(3)
+_ARENA_GRAPHS = []
+for _n in range(ARENA_FAMILIES):
+    _kind = _n % 4
+    _size = 8 + (_n // 4)
+    if _kind == 0:
+        _ARENA_GRAPHS.append(cycle_graph(_size))
+    elif _kind == 1:
+        _ARENA_GRAPHS.append(path_graph(_size))
+    elif _kind == 2:
+        _ARENA_GRAPHS.append(star_graph(_size - 1))
+    else:
+        _ARENA_GRAPHS.append(
+            random_bounded_degree_graph(_size, 3, seed=_arena_rng.randint(0, 10**9))
+        )
+ARENA_INSTANCES = [
+    (graph, random_port_numbering(graph, rng=_arena_rng))
+    for graph in _ARENA_GRAPHS
+    for _ in range(ARENA_NUMBERINGS)
+]
+
+ARENA_ALGORITHMS = ("neighbour-degree-sum", "odd-odd-neighbours")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vector engine needs numpy")
+@pytest.mark.parametrize("batching", ["grouped", "arena"], ids=["grouped", "arena"])
+@pytest.mark.parametrize("name", ARENA_ALGORITHMS, ids=ARENA_ALGORITHMS)
+def test_plan_arena_vector(benchmark, name, batching):
+    from repro.execution.vector import run_vector
+
+    algorithm = build_algorithm(name)
+    # Warm the one-time compile path so neither side pays it in the timing.
+    run_vector(algorithm, ARENA_INSTANCES[:2], require_halt=False, max_rounds=MAX_ROUNDS)
+
+    def run() -> list:
+        return run_vector(
+            algorithm,
+            ARENA_INSTANCES,
+            require_halt=False,
+            max_rounds=MAX_ROUNDS,
+            arena=batching == "arena",
+        )
+
+    results = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["instances"] = len(ARENA_INSTANCES)
+    benchmark.extra_info["families"] = ARENA_FAMILIES
+    assert len(results) == len(ARENA_INSTANCES)

@@ -1,0 +1,161 @@
+"""Compare two ``BENCH_<date>.json`` reports pair by pair.
+
+Usage::
+
+    python benchmarks/compare.py OLD.json NEW.json [--threshold 0.8] [--soft]
+
+Every speedup pair present in both reports is matched on its identity
+(``file``, ``benchmark``, ``params``) and the ratio ``new speedup / old
+speedup`` is printed.  A ratio below ``--threshold`` (default 0.8: the new
+report keeps at least 80% of the recorded speedup) is a **regression**;
+the process exits non-zero when any pair regresses, unless ``--soft`` is
+given (CI uses ``--soft`` on shared runners, where smoke-size timings are
+noisy, to annotate rather than fail).
+
+Pairs only present on one side are listed as added/removed but never fail
+the comparison -- growing the benchmark surface must not break CI.  The
+``geomean_*`` summary figures are diffed the same way for a one-line
+overview per family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"compare: cannot read {path!r}: {error}")
+
+
+def _pair_identity(pair: dict) -> tuple:
+    return (
+        pair.get("file", "?"),
+        pair.get("benchmark", "?"),
+        tuple(sorted(pair.get("params", {}).items())),
+    )
+
+
+def _pair_label(identity: tuple) -> str:
+    file_name, benchmark, params = identity
+    tag = ",".join(f"{key}={value}" for key, value in params) or "-"
+    return f"{file_name}::{benchmark}[{tag}]"
+
+
+def compare_pairs(
+    old_report: dict, new_report: dict, threshold: float
+) -> tuple[list[dict], list[tuple], list[tuple]]:
+    """Return (matched rows, added identities, removed identities)."""
+    old_pairs = {_pair_identity(pair): pair for pair in old_report.get("pairs", [])}
+    new_pairs = {_pair_identity(pair): pair for pair in new_report.get("pairs", [])}
+    rows = []
+    for identity in sorted(old_pairs.keys() & new_pairs.keys()):
+        old_speedup = old_pairs[identity]["speedup"]
+        new_speedup = new_pairs[identity]["speedup"]
+        ratio = new_speedup / old_speedup if old_speedup else float("inf")
+        rows.append(
+            {
+                "label": _pair_label(identity),
+                "old": old_speedup,
+                "new": new_speedup,
+                "ratio": ratio,
+                "regressed": ratio < threshold,
+            }
+        )
+    added = sorted(new_pairs.keys() - old_pairs.keys())
+    removed = sorted(old_pairs.keys() - new_pairs.keys())
+    return rows, added, removed
+
+
+def compare_geomeans(old_report: dict, new_report: dict) -> list[dict]:
+    old_summary = old_report.get("summary", {})
+    new_summary = new_report.get("summary", {})
+    rows = []
+    for key in sorted(old_summary.keys() & new_summary.keys()):
+        if not key.startswith("geomean_"):
+            continue
+        old_value, new_value = old_summary[key], new_summary[key]
+        rows.append(
+            {
+                "key": key,
+                "old": old_value,
+                "new": new_value,
+                "ratio": new_value / old_value if old_value else float("inf"),
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_<date>.json")
+    parser.add_argument("new", help="candidate BENCH_<date>.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="minimum new/old speedup ratio before a pair counts as a "
+        "regression (default: 0.8)",
+    )
+    parser.add_argument(
+        "--soft",
+        action="store_true",
+        help="print regressions but always exit 0 (CI annotation mode)",
+    )
+    args = parser.parse_args(argv)
+
+    old_report = _load(args.old)
+    new_report = _load(args.new)
+    if old_report.get("smoke") != new_report.get("smoke"):
+        print(
+            f"compare: note: size budgets differ "
+            f"(old smoke={old_report.get('smoke')}, new smoke={new_report.get('smoke')}); "
+            "timings are not directly comparable",
+        )
+
+    rows, added, removed = compare_pairs(old_report, new_report, args.threshold)
+    regressions = [row for row in rows if row["regressed"]]
+    width = max((len(row["label"]) for row in rows), default=0)
+    for row in rows:
+        marker = "REGRESSED" if row["regressed"] else "ok"
+        print(
+            f"{row['label']:<{width}}  {row['old']:>7.2f}x -> {row['new']:>7.2f}x  "
+            f"({row['ratio']:.2f})  {marker}"
+        )
+    for identity in added:
+        print(f"{_pair_label(identity)}: only in {Path(args.new).name} (added)")
+    for identity in removed:
+        print(f"{_pair_label(identity)}: only in {Path(args.old).name} (removed)")
+
+    geomeans = compare_geomeans(old_report, new_report)
+    if geomeans:
+        print()
+        for row in geomeans:
+            print(
+                f"{row['key']}: {row['old']}x -> {row['new']}x ({row['ratio']:.2f})"
+            )
+
+    if not rows:
+        print("compare: no common pairs between the two reports")
+    print(
+        f"\ncompare: {len(rows)} pairs, {len(regressions)} regressed "
+        f"(threshold {args.threshold}), {len(added)} added, {len(removed)} removed"
+    )
+    if regressions:
+        for row in regressions:
+            print(
+                f"compare: regression: {row['label']} "
+                f"{row['old']}x -> {row['new']}x ({row['ratio']:.2f} < {args.threshold})"
+            )
+        return 0 if args.soft else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,730 @@
+"""The kernel plan cache: warm sweep/vector tables as portable artifacts.
+
+The superposed sweep engine (:mod:`repro.execution.sweep`) and the NumPy
+vector kernel (:mod:`repro.execution.vector`) amortize their interned
+transition/send/configuration tables across every batch that shares one
+:class:`~repro.machines.fastpath.FastPathAlgorithm` wrapper -- but only
+within one process lifetime.  Every campaign worker, every resumed run and
+every service job used to rebuild the same tables from scratch, re-running
+the algorithm's transition function for configurations the store already
+proves were evaluated once.
+
+This module turns those tables into a **kernel plan**: a content-addressed,
+serializable snapshot keyed by ``(algorithm content hash, model class,
+receive/send mode, engine)``:
+
+* :func:`capture_plan` / :func:`install_plan` move the tables between a live
+  wrapper and a :class:`KernelPlan` (the unpicklable lazy-row builders are
+  dropped on capture and rebound by the sweep engine on first use);
+* :meth:`KernelPlan.to_bytes` / :meth:`KernelPlan.from_bytes` are the store
+  artifact format (campaign backends persist plans under the ``"plan"``
+  artifact kind, so resumes, migrated stores and repeated service jobs start
+  hot);
+* :class:`PlanPublisher` / :func:`load_plans` publish a set of plans through
+  one ``multiprocessing.shared_memory`` segment -- the NumPy-backed
+  :class:`~repro.execution.vector.VectorTables` rows travel as raw array
+  bytes, the pure-python sweep tables as pickled metadata -- so a shard's
+  workers map one read-only plan instead of each rebuilding it (with an
+  inline-pickle fallback when shared memory is unavailable);
+* :func:`capture_delta` / :func:`fold_delta` carry a worker's *local
+  discoveries* (states, messages and configurations interned beyond its
+  install baseline) back to the parent, which folds them by value -- worker
+  ids at or beyond the baseline are re-interned through the delta's value
+  lists, so id spaces that diverged across workers merge soundly -- and
+  re-publishes the folded plan for later shards.
+
+Correctness never depends on a plan: installing one only pre-fills tables
+whose entries are deterministic functions of the algorithm (the paper's
+Section 1.1 state-machine semantics, the same argument that makes transition
+memoization sound), and every serialization or shared-memory failure degrades
+to a cold build.  Campaign runs with and without the plan cache therefore
+produce byte-identical records and manifest digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sys
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any
+
+from repro.engines.registry import numpy_or_none
+from repro.execution import sweep as _sweep
+from repro.execution import vector as _vector
+from repro.execution.sweep import SweepTables, _LazyRowTable, sweep_tables_for
+from repro.execution.vector import VectorTables, _SENTINEL, vector_tables_for
+from repro.machines.fastpath import FastPathAlgorithm
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "PLAN_FORMAT",
+    "KernelPlan",
+    "PlanBaseline",
+    "PlanDelta",
+    "PlanPublisher",
+    "PlanRef",
+    "algorithm_fingerprint",
+    "capture_delta",
+    "capture_plan",
+    "fold_delta",
+    "install_plan",
+    "load_plans",
+    "plan_baseline",
+    "plan_key",
+]
+
+#: Bumped whenever the serialized layout changes; part of the plan key, so a
+#: layout change simply invalidates old artifacts instead of misreading them.
+PLAN_FORMAT = 1
+
+#: The campaign-store artifact kind plans are persisted under.
+ARTIFACT_KIND = "plan"
+
+_PLAN_TAG = "repro-kernel-plan"
+
+
+def _is_missing(value: Any) -> bool:
+    """Whether a ``state_outputs`` entry is unfilled.
+
+    The sweep and vector modules each keep their own ``_MISSING`` sentinel;
+    a shared table may hold either, and neither survives serialization.
+    """
+    return value is _sweep._MISSING or value is _vector._MISSING
+
+
+# --------------------------------------------------------------------------- #
+# Keying
+# --------------------------------------------------------------------------- #
+
+
+def algorithm_fingerprint(algorithm: Any) -> str:
+    """A content hash of an algorithm object.
+
+    Pickle bytes when the algorithm pickles (the registered algorithms are
+    deterministic value objects, so equal algorithms hash equal), ``repr``
+    otherwise.  Collisions across *different* algorithms would only warm the
+    wrong tables with entries the transition function never looks up -- the
+    configuration keys embed the actual interned values -- so a weak
+    fallback degrades performance, never correctness.
+    """
+    inner = getattr(algorithm, "inner", algorithm)
+    try:
+        material = pickle.dumps(inner, protocol=4)
+    except Exception:  # noqa: BLE001 - any unpicklable algorithm
+        material = repr(inner).encode("utf-8", "replace")
+    return hashlib.sha256(material).hexdigest()
+
+
+def plan_key(algorithm: Any, engine: str) -> str:
+    """The content-addressed artifact key of an algorithm/engine pair.
+
+    Covers the plan format, the algorithm's type and content fingerprint,
+    the model coordinates (receive/send mode, which determine the paper's
+    model class), the engine and the Python minor version (pickled state
+    values do not travel across interpreter versions) -- changing any of
+    them invalidates the cache by pointing at a different artifact.
+    """
+    inner = getattr(algorithm, "inner", algorithm)
+    model = inner.model
+    material = "\n".join(
+        (
+            f"format={PLAN_FORMAT}",
+            f"type={type(inner).__module__}.{type(inner).__qualname__}",
+            f"algorithm={algorithm_fingerprint(inner)}",
+            f"receive={model.receive.name}",
+            f"send={model.send.name}",
+            f"engine={engine}",
+            f"python={sys.version_info.major}.{sys.version_info.minor}",
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# The plan artifact
+# --------------------------------------------------------------------------- #
+
+
+class KernelPlan:
+    """A serializable snapshot of one wrapper's sweep/vector tables.
+
+    The sweep side mirrors :class:`~repro.execution.sweep.SweepTables`
+    (interned state/message values, stop flags, filled outputs as sparse
+    ``(id, value)`` pairs, the global configuration table, send/initial/
+    rebuild rows -- rebuild rows as plain dicts, their lazy builders are
+    process-local closures).  The vector side carries the NumPy mirrors of
+    :class:`~repro.execution.vector.VectorTables`: the trimmed send/broadcast
+    tables and the per-width byte-keyed configuration tables (stop flags are
+    re-derived from the sweep side on install).
+    """
+
+    __slots__ = (
+        "state_values",
+        "state_stops",
+        "state_outputs",
+        "msg_values",
+        "configs",
+        "send_rows",
+        "initial_rows",
+        "rebuild_rows",
+        "vector_configs",
+        "vector_send",
+        "vector_send_fill",
+        "vector_bcast",
+    )
+
+    def __init__(self) -> None:
+        self.state_values: list[Any] = []
+        self.state_stops: list[bool] = []
+        self.state_outputs: list[tuple[int, Any]] = []
+        self.msg_values: list[Any] = []
+        self.configs: dict[tuple[int, tuple[int, ...]], tuple[int, bool]] = {}
+        self.send_rows: dict[tuple[int, int], tuple[int, ...]] = {}
+        self.initial_rows: dict[int, int] = {}
+        self.rebuild_rows: dict[Any, dict[int, Any]] = {}
+        self.vector_configs: dict[int, dict[bytes, tuple[int, bool]]] = {}
+        self.vector_send: Any = None
+        self.vector_send_fill: dict[int, int] = {}
+        self.vector_bcast: Any = None
+
+    @property
+    def empty(self) -> bool:
+        return not self.state_values and not self.configs and not self.vector_configs
+
+    def counts(self) -> dict[str, int]:
+        """Size summary (metrics, tests, the CLI report)."""
+        return {
+            "states": len(self.state_values),
+            "messages": len(self.msg_values),
+            "configs": len(self.configs),
+            "send_rows": len(self.send_rows),
+            "vector_configs": sum(map(len, self.vector_configs.values())),
+        }
+
+    # -- serialization ------------------------------------------------- #
+
+    def _state(self) -> dict[str, Any]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def _from_state(cls, state: dict[str, Any]) -> "KernelPlan":
+        plan = cls()
+        for slot in cls.__slots__:
+            if slot in state:
+                setattr(plan, slot, state[slot])
+        return plan
+
+    def to_bytes(self) -> bytes:
+        """The store-artifact encoding (pickle; arrays pickle via NumPy)."""
+        return pickle.dumps((_PLAN_TAG, PLAN_FORMAT, self._state()), protocol=4)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "KernelPlan":
+        """Decode a stored artifact; :class:`ValueError` on anything else."""
+        try:
+            tag, fmt, state = pickle.loads(blob)
+        except Exception as error:  # noqa: BLE001 - unpickling failure modes vary
+            raise ValueError(f"not a kernel plan artifact: {error}") from None
+        if tag != _PLAN_TAG or fmt != PLAN_FORMAT:
+            raise ValueError(f"not a format-{PLAN_FORMAT} kernel plan artifact")
+        return cls._from_state(state)
+
+
+def capture_plan(fast: FastPathAlgorithm) -> KernelPlan:
+    """Snapshot a wrapper's tables into a plan (shallow copies, stable)."""
+    plan = KernelPlan()
+    tables = fast.sweep_tables
+    if tables is not None:
+        plan.state_values = list(tables.state_values)
+        plan.state_stops = list(tables.state_stops)
+        plan.state_outputs = [
+            (i, value)
+            for i, value in enumerate(tables.state_outputs)
+            if not _is_missing(value)
+        ]
+        plan.msg_values = list(tables.msg_values)
+        plan.configs = dict(tables.configs)
+        plan.send_rows = dict(tables.send_rows)
+        plan.initial_rows = dict(tables.initial_rows)
+        plan.rebuild_rows = {key: dict(table) for key, table in tables.rebuild_rows.items()}
+    vtables = fast.vector_tables
+    if vtables is not None and tables is not None:
+        states = len(tables.state_values)
+        if vtables.send_table is not None and states:
+            plan.vector_send = vtables.send_table[:states].copy()
+            plan.vector_send_fill = dict(vtables.send_fill)
+        if vtables.bcast_table is not None and states:
+            plan.vector_bcast = vtables.bcast_table[:states].copy()
+        plan.vector_configs = {
+            width: dict(table) for width, table in vtables.configs.items() if table
+        }
+    return plan
+
+
+def install_plan(fast: FastPathAlgorithm, plan: KernelPlan) -> "PlanBaseline":
+    """Replace a wrapper's tables with a plan's; returns the delta baseline.
+
+    Rebuild-row tables are installed with their builder unbound
+    (``_LazyRowTable(None)``); the sweep engine rebinds the builder closure
+    on the table's first use.  Vector arrays are copied into fresh
+    worker-local :class:`VectorTables` (runs mutate them in place, so a
+    shared read-only view would not do).
+    """
+    tables = SweepTables()
+    if plan.msg_values:
+        tables.msg_values = list(plan.msg_values)
+        tables.msg_ids = {value: mid for mid, value in enumerate(plan.msg_values)}
+    tables.state_values = list(plan.state_values)
+    tables.state_ids = {value: sid for sid, value in enumerate(plan.state_values)}
+    tables.state_stops = list(plan.state_stops)
+    outputs: list[Any] = [_sweep._MISSING] * len(plan.state_values)
+    for sid, value in plan.state_outputs:
+        if 0 <= sid < len(outputs):
+            outputs[sid] = value
+    tables.state_outputs = outputs
+    tables.configs = dict(plan.configs)
+    tables.send_rows = dict(plan.send_rows)
+    tables.initial_rows = dict(plan.initial_rows)
+    rebuild: dict[Any, _LazyRowTable] = {}
+    for key, rows in plan.rebuild_rows.items():
+        table = _LazyRowTable(None)
+        table.update(rows)
+        rebuild[key] = table
+    tables.rebuild_rows = rebuild
+    fast.sweep_tables = tables
+
+    fast.vector_tables = None
+    np = numpy_or_none()
+    if np is not None and (
+        plan.vector_configs or plan.vector_send is not None or plan.vector_bcast is not None
+    ):
+        vtables = VectorTables()
+        if tables.state_stops:
+            vtables.sync_stops(np, tables.state_stops)
+        if plan.vector_send is not None and plan.vector_send.size:
+            rows, cols = plan.vector_send.shape
+            table = vtables.ensure_send(np, rows, cols)
+            table[:rows, :cols] = plan.vector_send
+            vtables.send_fill = dict(plan.vector_send_fill)
+            fill_np = vtables.send_fill_np
+            for sid, filled in vtables.send_fill.items():
+                if sid < len(fill_np):
+                    fill_np[sid] = filled
+        if plan.vector_bcast is not None and plan.vector_bcast.size:
+            table = vtables.ensure_bcast(np, len(plan.vector_bcast))
+            table[: len(plan.vector_bcast)] = plan.vector_bcast
+        vtables.configs = {width: dict(t) for width, t in plan.vector_configs.items()}
+        fast.vector_tables = vtables
+    return plan_baseline(fast)
+
+
+# --------------------------------------------------------------------------- #
+# Deltas: worker discoveries folded back by value
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class PlanBaseline:
+    """Table sizes at plan-install time: everything beyond them is a delta."""
+
+    states: int = 0
+    msgs: int = 0
+    configs: int = 0
+    send_rows: int = 0
+    rebuild: dict[Any, int] = field(default_factory=dict)
+    vector: dict[int, int] = field(default_factory=dict)
+
+
+def plan_baseline(fast: FastPathAlgorithm) -> PlanBaseline:
+    """The current table sizes of a wrapper (delta capture reference)."""
+    baseline = PlanBaseline()
+    tables = fast.sweep_tables
+    if tables is not None:
+        baseline.states = len(tables.state_values)
+        baseline.msgs = len(tables.msg_values)
+        baseline.configs = len(tables.configs)
+        baseline.send_rows = len(tables.send_rows)
+        baseline.rebuild = {key: len(table) for key, table in tables.rebuild_rows.items()}
+    vtables = fast.vector_tables
+    if vtables is not None:
+        baseline.vector = {width: len(table) for width, table in vtables.configs.items()}
+    return baseline
+
+
+class PlanDelta:
+    """Everything a worker interned beyond its install baseline.
+
+    Ids below the baseline are plan-prefix-stable (the parent holds the same
+    prefix, because it only ever appends); ids at or beyond it are worker
+    -local and carry their *values* (``new_states`` / ``new_msgs``), so the
+    parent can re-intern them and remap every key/row that references them.
+    Deltas are cumulative since install: folding is keyed setdefault, so
+    folding the same delta twice (or overlapping deltas from shards of one
+    worker) is idempotent.
+    """
+
+    __slots__ = (
+        "base_states",
+        "base_msgs",
+        "new_states",
+        "new_msgs",
+        "new_configs",
+        "new_send_rows",
+        "initial_rows",
+        "new_rebuild",
+        "new_vector",
+    )
+
+    def __init__(self) -> None:
+        self.base_states = 0
+        self.base_msgs = 1
+        self.new_states: list[tuple[Any, bool, bool, Any]] = []
+        self.new_msgs: list[Any] = []
+        self.new_configs: list[tuple[tuple[int, tuple[int, ...]], tuple[int, bool]]] = []
+        self.new_send_rows: list[tuple[tuple[int, int], tuple[int, ...]]] = []
+        self.initial_rows: dict[int, int] = {}
+        self.new_rebuild: dict[Any, list[tuple[int, Any]]] = {}
+        self.new_vector: dict[int, list[tuple[bytes, tuple[int, bool]]]] = {}
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.new_states
+            or self.new_msgs
+            or self.new_configs
+            or self.new_send_rows
+            or self.new_rebuild
+            or self.new_vector
+        )
+
+
+def capture_delta(fast: FastPathAlgorithm, baseline: PlanBaseline) -> PlanDelta | None:
+    """The wrapper's discoveries beyond ``baseline``; ``None`` when there are
+    none or when the tables were cleared since install (the baseline no
+    longer names a stable prefix, so no sound delta exists)."""
+    tables = fast.sweep_tables
+    if tables is None:
+        return None
+    if (
+        len(tables.state_values) < baseline.states
+        or len(tables.msg_values) < baseline.msgs
+        or len(tables.configs) < baseline.configs
+        or len(tables.send_rows) < baseline.send_rows
+    ):
+        return None
+    delta = PlanDelta()
+    delta.base_states = baseline.states
+    delta.base_msgs = baseline.msgs
+    outputs = tables.state_outputs
+    for sid in range(baseline.states, len(tables.state_values)):
+        value = outputs[sid]
+        filled = not _is_missing(value)
+        delta.new_states.append(
+            (tables.state_values[sid], tables.state_stops[sid], filled, value if filled else None)
+        )
+    delta.new_msgs = list(tables.msg_values[baseline.msgs :])
+    delta.new_configs = list(islice(tables.configs.items(), baseline.configs, None))
+    delta.new_send_rows = list(islice(tables.send_rows.items(), baseline.send_rows, None))
+    delta.initial_rows = dict(tables.initial_rows)
+    for key, table in tables.rebuild_rows.items():
+        base = baseline.rebuild.get(key, 0)
+        if len(table) < base:
+            return None
+        if len(table) > base:
+            delta.new_rebuild[key] = list(islice(table.items(), base, None))
+    vtables = fast.vector_tables
+    if vtables is not None:
+        for width, table in vtables.configs.items():
+            base = baseline.vector.get(width, 0)
+            if len(table) < base:
+                return None
+            if len(table) > base:
+                delta.new_vector[width] = list(islice(table.items(), base, None))
+    return None if delta.empty else delta
+
+
+def fold_delta(fast: FastPathAlgorithm, delta: PlanDelta) -> bool:
+    """Fold a worker delta into a wrapper's live tables; True if anything new.
+
+    Values are re-interned (worker ids beyond the baseline map through the
+    delta's value lists, ids below it are shared prefix), and every folded
+    key is a setdefault -- entries the parent already holds, from its own
+    work or another worker's delta, win unchanged.
+    """
+    tables = sweep_tables_for(fast)
+    if (
+        len(tables.state_values) < delta.base_states
+        or len(tables.msg_values) < delta.base_msgs
+    ):
+        return False
+
+    state_ids = tables.state_ids
+    state_values = tables.state_values
+    state_stops = tables.state_stops
+    state_outputs = tables.state_outputs
+    changed = False
+    smap: list[int] = []
+    for value, stop, filled, output in delta.new_states:
+        sid = state_ids.get(value)
+        if sid is None:
+            sid = state_ids[value] = len(state_values)
+            state_values.append(value)
+            state_stops.append(stop)
+            state_outputs.append(output if filled else _sweep._MISSING)
+            changed = True
+        elif filled and _is_missing(state_outputs[sid]):
+            state_outputs[sid] = output
+        smap.append(sid)
+    msg_ids = tables.msg_ids
+    msg_values = tables.msg_values
+    mmap: list[int] = []
+    for value in delta.new_msgs:
+        mid = msg_ids.get(value)
+        if mid is None:
+            mid = msg_ids[value] = len(msg_values)
+            msg_values.append(value)
+            changed = True
+        mmap.append(mid)
+
+    base_states, base_msgs = delta.base_states, delta.base_msgs
+
+    def rs(sid: int) -> int:
+        return sid if sid < base_states else smap[sid - base_states]
+
+    def rm(mid: int) -> int:
+        return mid if mid < base_msgs else mmap[mid - base_msgs]
+
+    configs = tables.configs
+    for (sid, inbox), (nsid, stopped) in delta.new_configs:
+        key = (rs(sid), tuple(map(rm, inbox)))
+        if key not in configs:
+            configs[key] = (rs(nsid), stopped)
+            changed = True
+    send_rows = tables.send_rows
+    for (sid, degree), row in delta.new_send_rows:
+        key = (rs(sid), degree)
+        if key not in send_rows:
+            send_rows[key] = tuple(map(rm, row))
+            changed = True
+    for degree, sid in delta.initial_rows.items():
+        if degree not in tables.initial_rows:
+            tables.initial_rows[degree] = rs(sid)
+            changed = True
+    for shape, items in delta.new_rebuild.items():
+        table = tables.rebuild_rows.get(shape)
+        if table is None:
+            table = tables.rebuild_rows[shape] = _LazyRowTable(None)
+        for sid, row in items:
+            key = rs(sid)
+            if key not in table:
+                table[key] = tuple(map(rm, row)) if isinstance(row, tuple) else rm(row)
+                changed = True
+
+    if delta.new_vector:
+        np = numpy_or_none()
+        if np is not None:
+            vtables = vector_tables_for(fast)
+            for width, items in delta.new_vector.items():
+                table = vtables.configs.setdefault(width, {})
+                for key_bytes, (nsid, stopped) in items:
+                    row = np.frombuffer(key_bytes, dtype=np.int64).copy()
+                    row[0] = rs(int(row[0]))
+                    for column in range(1, len(row)):
+                        mid = int(row[column])
+                        if mid != _SENTINEL:
+                            row[column] = rm(mid)
+                    key = row.tobytes()
+                    if key not in table:
+                        table[key] = (rs(nsid), stopped)
+                        changed = True
+    return changed
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory publication
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PlanRef:
+    """A picklable handle to a published plan set.
+
+    ``kind == "shm"`` names a ``multiprocessing.shared_memory`` segment (the
+    vector arrays travel as raw bytes there); ``kind == "inline"`` carries
+    the full pickle in :attr:`payload` (the fallback when shared memory is
+    unavailable).  ``generation`` increases with every re-publication, so a
+    worker handed an older ref than the one it already loaded keeps its
+    current plans.
+    """
+
+    kind: str
+    name: str | None
+    payload: bytes | None
+    generation: int
+
+
+#: The plan fields published as raw shared-memory array regions.
+_ARRAY_SLOTS = ("vector_send", "vector_bcast")
+
+
+class PlanPublisher:
+    """Publishes plan sets for shard workers; owns the live shm segment.
+
+    One generation is kept alive behind the current one, so tasks dispatched
+    just before a re-publication can still load their (slightly stale) ref;
+    anything older is unlinked.  Every publication failure degrades to an
+    inline-pickle ref, and an unloadable ref degrades to a cold build on the
+    worker -- never an error.
+    """
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self._segment: Any = None
+        self._retired: Any = None
+
+    def publish(self, plans: dict[str, KernelPlan]) -> PlanRef | None:
+        self.generation += 1
+        metas: dict[str, dict[str, Any]] = {}
+        arrays: list[Any] = []
+        for name, plan in plans.items():
+            state = plan._state()
+            for slot in _ARRAY_SLOTS:
+                array = state.get(slot)
+                if array is not None:
+                    state[slot] = ("__array__", len(arrays))
+                    arrays.append(array)
+            metas[name] = state
+        ref = self._publish_shm(metas, arrays)
+        if ref is not None:
+            if _metrics.enabled():
+                _metrics.counter("plan.cache.publish_shm").inc()
+            return ref
+        # Inline fallback: rebuild full states (arrays pickle via NumPy).
+        try:
+            payload = pickle.dumps(
+                {name: plan._state() for name, plan in plans.items()}, protocol=4
+            )
+        except Exception:  # noqa: BLE001 - unpicklable plan content
+            return None
+        return PlanRef("inline", None, payload, self.generation)
+
+    def _publish_shm(
+        self, metas: dict[str, dict[str, Any]], arrays: list[Any]
+    ) -> PlanRef | None:
+        try:
+            from multiprocessing import shared_memory
+
+            descriptors = []
+            offset = 0
+            for array in arrays:
+                descriptors.append((str(array.dtype), array.shape, offset, array.nbytes))
+                offset += array.nbytes
+            header = pickle.dumps((metas, descriptors), protocol=4)
+            total = 8 + len(header) + offset
+            segment = shared_memory.SharedMemory(create=True, size=max(total, 8))
+            buf = segment.buf
+            buf[:8] = len(header).to_bytes(8, "little")
+            buf[8 : 8 + len(header)] = header
+            base = 8 + len(header)
+            for array, (_, _, aoff, nbytes) in zip(arrays, descriptors):
+                buf[base + aoff : base + aoff + nbytes] = array.tobytes()
+        except Exception:  # noqa: BLE001 - no shm, size limits, pickling
+            return None
+        self._retire(self._segment)
+        self._segment = segment
+        return PlanRef("shm", segment.name, None, self.generation)
+
+    def _retire(self, segment: Any) -> None:
+        old, self._retired = self._retired, segment
+        if old is not None:
+            try:
+                old.close()
+                old.unlink()
+            except Exception:  # noqa: BLE001 - already gone
+                pass
+
+    def close(self) -> None:
+        """Release every segment this publisher still owns."""
+        self._retire(self._segment)
+        self._retire(None)
+        self._segment = None
+
+
+class _TrackerStub:
+    """A no-op stand-in for ``multiprocessing.resource_tracker``."""
+
+    @staticmethod
+    def register(name: str, rtype: str) -> None:  # pragma: no cover - trivial
+        pass
+
+    @staticmethod
+    def unregister(name: str, rtype: str) -> None:  # pragma: no cover - trivial
+        pass
+
+
+def _attach_untracked(shared_memory: Any, name: str) -> Any:
+    """Attach to an existing segment without resource-tracker registration.
+
+    Before 3.13 (``track=False``) attaching registers the segment just like
+    creating it did.  The creator (the parent's :class:`PlanPublisher`) is
+    the sole owner and unlinks deterministically, so an attach-side
+    registration is at best a dedupe no-op under the pool's shared tracker
+    -- and at worst a race: a register that lands after the parent's unlink
+    re-adds the name and the tracker complains about "leaked" segments at
+    shutdown.  Swapping the module's tracker reference for the duration of
+    the attach suppresses exactly that registration; plan loads happen on
+    single-threaded pool workers, so the swap is not observable elsewhere.
+    """
+    original = getattr(shared_memory, "resource_tracker", None)
+    if original is None:  # non-POSIX layout: nothing registers on attach
+        return shared_memory.SharedMemory(name=name)
+    shared_memory.resource_tracker = _TrackerStub
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        shared_memory.resource_tracker = original
+
+
+def load_plans(ref: PlanRef | None) -> dict[str, KernelPlan] | None:
+    """Load a published plan set; ``None`` on any failure (cold build)."""
+    if ref is None:
+        return None
+    with _span("plan.load", kind=ref.kind, generation=ref.generation):
+        try:
+            if ref.kind == "inline":
+                states = pickle.loads(ref.payload)
+                return {name: KernelPlan._from_state(state) for name, state in states.items()}
+            from multiprocessing import shared_memory
+
+            segment = _attach_untracked(shared_memory, ref.name)
+            try:
+                buf = segment.buf
+                header_len = int.from_bytes(bytes(buf[:8]), "little")
+                metas, descriptors = pickle.loads(bytes(buf[8 : 8 + header_len]))
+                np = numpy_or_none()
+                base = 8 + header_len
+                arrays: list[Any] = []
+                for dtype, shape, aoff, nbytes in descriptors:
+                    if np is None:
+                        arrays.append(None)
+                        continue
+                    raw = bytes(buf[base + aoff : base + aoff + nbytes])
+                    arrays.append(np.frombuffer(raw, dtype=dtype).reshape(shape).copy())
+                plans: dict[str, KernelPlan] = {}
+                for name, state in metas.items():
+                    for slot in _ARRAY_SLOTS:
+                        value = state.get(slot)
+                        if isinstance(value, tuple) and value and value[0] == "__array__":
+                            state[slot] = arrays[value[1]]
+                    plans[name] = KernelPlan._from_state(state)
+                return plans
+            finally:
+                segment.close()
+        except Exception:  # noqa: BLE001 - stale ref, no shm, bad pickle
+            if _metrics.enabled():
+                _metrics.counter("plan.cache.load_failures").inc()
+            return None

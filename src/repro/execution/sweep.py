@@ -559,16 +559,20 @@ def _sweep_group(
     if rebuild_send:
         shape_key = "b" if broadcast else uniform_degree
         row_of = tables.rebuild_rows.get(shape_key)
-        if row_of is None:
+        if row_of is None or row_of._build is None:
+            # ``_build is None`` marks a plan-installed table
+            # (:func:`repro.execution.plan.install_plan` ships the row dicts
+            # but not the process-local builder closure); rebind it here so
+            # warm entries survive and misses fall through to ``mu``.
             if broadcast:
-                row_of = _LazyRowTable(
+                build = (
                     lambda sid: 0
                     if state_stops[sid]
                     else intern_msg(broadcast_rule(state_values[sid]))
                 )
             else:
                 m0_row = m0_rows[uniform_degree]
-                row_of = _LazyRowTable(
+                build = (
                     lambda sid: m0_row
                     if state_stops[sid]
                     else tuple(
@@ -576,7 +580,10 @@ def _sweep_group(
                         for q in range(uniform_degree)
                     )
                 )
-            tables.rebuild_rows[shape_key] = row_of
+            if row_of is None:
+                row_of = tables.rebuild_rows[shape_key] = _LazyRowTable(build)
+            else:
+                row_of._build = build
         row_of_get = row_of.__getitem__
     else:
         row_of_get = None

@@ -198,6 +198,7 @@ def run_vector(
     inputs: Sequence[dict[Node, Any] | None] | None = None,
     workers: int | None = None,
     stats: SweepStats | None = None,
+    arena: bool | None = None,
 ) -> list[ExecutionResult]:
     """Run one algorithm over a sweep of instances through the NumPy kernel.
 
@@ -209,6 +210,15 @@ def run_vector(
     :class:`SweepStats` accounting.  ``workers`` is accepted for signature
     parity and ignored: the kernel is batch-level array code and always
     runs in-process.
+
+    ``arena`` selects the whole-batch mega-arena: every topology group --
+    across graph families and sizes -- is padded into one multi-topology
+    block and driven through a single round loop, so a mixed campaign shard
+    costs one kernel invocation instead of one per topology.  ``None`` (the
+    default) auto-enables the arena exactly when the batch spans more than
+    one topology; ``False`` forces the per-topology loop.  Results are
+    node-for-node identical either way (padded lanes are masked out of the
+    round loop and never reach the configuration table).
 
     Raises :class:`~repro.engines.registry.EngineUnavailableError` when
     NumPy is not installed.
@@ -244,20 +254,34 @@ def run_vector(
     groups: dict[int, list[int]] = {}
     for index, instance in enumerate(compiled):
         groups.setdefault(id(instance.topology), []).append(index)
+    use_arena = (len(groups) > 1) if arena is None else (arena and bool(compiled))
     with _span("engine.vector.run", engine="vector") as sp:
-        for indices in groups.values():
-            _vector_group(
+        if use_arena:
+            _vector_arena(
                 np,
                 fast,
                 tables,
                 vtables,
-                [compiled[i] for i in indices],
-                indices,
+                compiled,
                 max_rounds,
-                [per_inputs[i] for i in indices],
+                per_inputs,
                 results,
                 stats,
             )
+        else:
+            for indices in groups.values():
+                _vector_group(
+                    np,
+                    fast,
+                    tables,
+                    vtables,
+                    [compiled[i] for i in indices],
+                    indices,
+                    max_rounds,
+                    [per_inputs[i] for i in indices],
+                    results,
+                    stats,
+                )
         if stats is not None:
             stats.instances += len(compiled)
             stats.distinct_states += len(tables.state_values) - states_before
@@ -633,6 +657,404 @@ def _vector_group(
     if _metrics.enabled():
         # Row-dedup path split: rounds fully served by the sorted pack-key
         # probe vs. rounds that needed the np.unique sort pass.
+        if fastpath_rounds:
+            _metrics.counter("vector.rounds_fastpath").inc(fastpath_rounds)
+        if sortpath_rounds:
+            _metrics.counter("vector.rounds_sortpath").inc(sortpath_rounds)
+
+
+def _vector_arena(
+    np: Any,
+    fast: FastPathAlgorithm,
+    tables: SweepTables,
+    vtables: VectorTables,
+    compiled: list[CompiledInstance],
+    max_rounds: int,
+    per_inputs: list[dict[Node, Any] | None],
+    results: list[ExecutionResult | None],
+    stats: SweepStats | None,
+) -> None:
+    """Execute a whole mixed-topology batch as one padded arena.
+
+    The generalization of :func:`_vector_group` to many topologies at once:
+    every topology group is collapsed (delivery signatures) exactly as the
+    per-topology path does, then its representatives become rows of one
+    ``(rows, max_nodes)`` state block padded to the batch-wide node, degree
+    and port maxima.  The delivery maps (``port_owner``/``port_q``/sources)
+    become per-row matrices instead of shared vectors, and two masks keep
+    the padding inert: ``node_valid`` (padded lanes never count as alive,
+    never enter the configuration table and never gate halting) and
+    ``port_valid`` (padded ports never scatter into an inbox).  One round
+    loop then drives every instance of every family and size in lockstep --
+    a campaign shard costs a single kernel invocation.
+
+    Per-instance results are identical to the per-topology path: each row
+    evolves independently of its neighbours, so its halting round, final
+    states and outputs depend only on its own (masked) lanes.  The only
+    visible difference is accounting -- configuration rows are keyed at the
+    batch-wide width, so dedup counters land in a different
+    ``VectorTables.configs`` bucket than the per-topology path would use.
+    """
+    inner = fast.inner
+    broadcast = inner.model.send is SendMode.BROADCAST
+    receive = inner.model.receive
+    vector_mode = receive is ReceiveMode.VECTOR
+    set_mode = receive is ReceiveMode.SET
+    project = receive.project
+    transition = inner.transition
+    send = inner.send
+    broadcast_rule = inner.broadcast
+    cls = type(inner)
+    default_protocol = (
+        cls.is_stopping is Algorithm.is_stopping and cls.output is Algorithm.output
+    )
+    is_stopping = inner.is_stopping
+
+    state_ids = tables.state_ids
+    state_values = tables.state_values
+    state_stops = tables.state_stops
+    state_outputs = tables.state_outputs
+    msg_ids = tables.msg_ids
+    msg_values = tables.msg_values
+
+    def intern_state(state: Any) -> int:
+        sid = state_ids.get(state)
+        if sid is None:
+            sid = state_ids[state] = len(state_values)
+            state_values.append(state)
+            if default_protocol:
+                state_stops.append(isinstance(state, Output))
+            else:
+                state_stops.append(is_stopping(state))
+            state_outputs.append(_MISSING)
+        return sid
+
+    def intern_msg(message: Any) -> int:
+        mid = msg_ids.get(message)
+        if mid is None:
+            mid = msg_ids[message] = len(msg_values)
+            msg_values.append(message)
+        return mid
+
+    def output_of(sid: int) -> Any:
+        value = state_outputs[sid]
+        if value is _MISSING:
+            state = state_values[sid]
+            value = state.value if default_protocol else inner.output(state)
+            state_outputs[sid] = value
+        return value
+
+    # Collapse each topology group and lay out the arena rows.
+    groups: dict[int, list[int]] = {}
+    for index, instance in enumerate(compiled):
+        groups.setdefault(id(instance.topology), []).append(index)
+    layouts = []
+    total_rows = 0
+    max_nodes = 0
+    max_deg = 0
+    max_ports = 0
+    for indices in groups.values():
+        group = [compiled[i] for i in indices]
+        group_inputs = [per_inputs[i] for i in indices]
+        signature_of = delivery_signature_of(
+            inner.model, any(item is not None for item in group_inputs)
+        )
+        executed, duplicates = collapse_instances(group, signature_of)
+        topology = group[0].topology
+        layouts.append((topology, group, indices, group_inputs, executed, duplicates, total_rows))
+        total_rows += len(executed)
+        max_nodes = max(max_nodes, len(topology.nodes))
+        max_deg = max(max_deg, max(topology.degrees, default=0))
+        max_ports = max(max_ports, topology.num_ports)
+    if not total_rows:
+        return
+
+    state = np.zeros((total_rows, max_nodes), dtype=np.int64)
+    node_valid = np.zeros((total_rows, max_nodes), dtype=bool)
+    deg_mat = np.zeros((total_rows, max_nodes), dtype=np.int64)
+    owner = np.zeros((total_rows, max_ports), dtype=np.int64)
+    q_mat = np.zeros((total_rows, max_ports), dtype=np.int64)
+    src = np.zeros((total_rows, max_ports), dtype=np.int64)
+    port_valid = np.zeros((total_rows, max_ports), dtype=bool)
+
+    initial_rows = tables.initial_rows
+    for topology, group, indices, group_inputs, executed, duplicates, offset in layouts:
+        nodes = topology.nodes
+        n = len(nodes)
+        degrees = topology.degrees
+        ports = topology.num_ports
+        init_row = [0] * n
+        for i in range(n):
+            sid = initial_rows.get(degrees[i])
+            if sid is None:
+                sid = initial_rows[degrees[i]] = intern_state(inner.initial_state(degrees[i]))
+            init_row[i] = sid
+        deg_np = np.asarray(degrees, dtype=np.int64)
+        port_owner = np.repeat(np.arange(n, dtype=np.int64), deg_np)
+        port_q = (
+            np.concatenate([np.arange(d, dtype=np.int64) for d in degrees])
+            if ports
+            else np.empty(0, dtype=np.int64)
+        )
+        for row, position in enumerate(executed):
+            r = offset + row
+            item_inputs = group_inputs[position]
+            if item_inputs is None:
+                state[r, :n] = init_row
+            else:
+                state[r, :n] = [
+                    intern_state(
+                        inner.initial_state_with_input(degrees[i], item_inputs.get(nodes[i]))
+                    )
+                    for i in range(n)
+                ]
+            node_valid[r, :n] = True
+            deg_mat[r, :n] = deg_np
+            if ports:
+                owner[r, :ports] = port_owner
+                q_mat[r, :ports] = port_q
+                port_valid[r, :ports] = True
+                if broadcast:
+                    src[r, :ports] = [
+                        s for senders in group[position].source_nodes for s in senders
+                    ]
+                else:
+                    src[r, :ports] = [s for slots in group[position].sources for s in slots]
+
+    # Configuration rows are keyed at the batch-wide width (padded lanes in
+    # narrower topologies carry the sentinel, which ``evaluate`` filters).
+    width = 1 + max_deg
+    config_table = vtables.configs.setdefault(width, {})
+
+    def fill_send_rows(st: Any, valid: Any, deg: Any) -> None:
+        """Fill the lazy send tables for the valid (sid, shape) pairs."""
+        if broadcast:
+            table = vtables.ensure_bcast(np, len(state_values))
+            missing = (table[st] < 0) & valid
+            if not missing.any():
+                return
+            for sid in np.unique(st[missing]):
+                sid = int(sid)
+                if table[sid] < 0:
+                    table[sid] = (
+                        0 if state_stops[sid] else intern_msg(broadcast_rule(state_values[sid]))
+                    )
+            return
+        if max_deg == 0:
+            return
+        table = vtables.ensure_send(np, len(state_values), max_deg)
+        fill_np = vtables.send_fill_np
+        need = fill_np[st] < deg  # padded lanes have degree 0: never needed
+        if not need.any():
+            return
+        send_fill = vtables.send_fill
+        for key in np.unique(st[need] * (max_deg + 1) + deg[need]):
+            sid, degree = divmod(int(key), max_deg + 1)
+            filled = send_fill.get(sid, 0)
+            if filled >= degree:
+                continue
+            if state_stops[sid]:
+                table[sid, filled:degree] = 0
+            else:
+                value = state_values[sid]
+                table[sid, filled:degree] = [
+                    intern_msg(send(value, q + 1)) for q in range(filled, degree)
+                ]
+            send_fill[sid] = degree
+            fill_np[sid] = degree
+
+    def evaluate(row: Any) -> tuple[int, bool]:
+        """Consult the algorithm for a configuration row never seen before."""
+        sid = int(row[0])
+        inbox = row[1:]
+        real = inbox[inbox != _SENTINEL]
+        vector = tuple(msg_values[int(mid)] for mid in real)
+        new_state = transition(
+            state_values[sid], vector if vector_mode else project(vector)
+        )
+        nsid = intern_state(new_state)
+        return (nsid, state_stops[nsid])
+
+    rounds = np.zeros(total_rows, dtype=np.int64)
+    halted = np.zeros(total_rows, dtype=bool)
+    walk = np.zeros(total_rows, dtype=np.int64)
+    evaluations = 0
+    occurrences = 0
+    fastpath_rounds = 0
+    sortpath_rounds = 0
+    pack_base = -1
+    pack_keys: Any = None
+    pack_sids: Any = None
+
+    stops_np = vtables.sync_stops(np, state_stops)
+    done = (stops_np[state] | ~node_valid).all(axis=1)
+    halted[done] = True
+    live = np.nonzero(~done)[0]
+
+    current_round = 0
+    while live.size and current_round < max_rounds:
+        current_round += 1
+        st = state[live]
+        valid = node_valid[live]
+        alive = ~stops_np[st] & valid
+        deg = deg_mat[live]
+
+        fill_send_rows(st, valid, deg)
+        if broadcast:
+            out = vtables.bcast_table[st]  # (L, max_nodes)
+        elif max_ports:
+            sid_at_port = np.take_along_axis(st, owner[live], axis=1)
+            out = vtables.send_table[sid_at_port, q_mat[live]]  # (L, max_ports)
+        else:
+            out = np.empty((len(live), 0), dtype=np.int64)
+
+        inbox = np.full((len(live), max_nodes, max_deg), _SENTINEL, dtype=np.int64)
+        if max_ports:
+            recv = np.take_along_axis(out, src[live], axis=1)
+            pv = port_valid[live]
+            row_idx = np.nonzero(pv)[0]
+            inbox[row_idx, owner[live][pv], q_mat[live][pv]] = recv[pv]
+        if not vector_mode and max_deg > 1:
+            inbox.sort(axis=2)
+            if set_mode:
+                dup = inbox[:, :, 1:] == inbox[:, :, :-1]
+                if dup.any():
+                    inbox[:, :, 1:][dup] = _SENTINEL
+                    inbox.sort(axis=2)
+
+        cfg = np.concatenate([st[:, :, None], inbox], axis=2)
+        rows = cfg[alive]
+        if rows.size:
+            base = len(msg_values) + 1
+            packable = (len(state_values) + 1) * base ** max_deg < _PACK_LIMIT
+            packed = None
+            handled = False
+            if packable:
+                packed = rows[:, 0].copy()
+                for col in range(1, max_deg + 1):
+                    slot = rows[:, col]
+                    packed *= base
+                    packed += np.where(slot == _SENTINEL, base - 1, slot)
+                if base == pack_base and pack_keys is not None and pack_keys.size:
+                    pos = np.searchsorted(pack_keys, packed)
+                    np.minimum(pos, len(pack_keys) - 1, out=pos)
+                    if (pack_keys[pos] == packed).all():
+                        st[alive] = pack_sids[pos]
+                        handled = True
+            if not handled:
+                if packable:
+                    uniq_keys, first, inverse = np.unique(
+                        packed, return_index=True, return_inverse=True
+                    )
+                    uniq = rows[first]
+                else:
+                    uniq, inverse = np.unique(rows, axis=0, return_inverse=True)
+                inverse = inverse.reshape(-1)
+                new_sids = np.empty(len(uniq), dtype=np.int64)
+                table_get = config_table.get
+                for u in range(len(uniq)):
+                    row = uniq[u]
+                    key = row.tobytes()
+                    entry = table_get(key)
+                    if entry is None:
+                        evaluations += 1
+                        entry = config_table[key] = evaluate(row)
+                    new_sids[u] = entry[0]
+                st[alive] = new_sids[inverse]
+                if packable:
+                    if base == pack_base and pack_keys is not None and pack_keys.size:
+                        merged = np.union1d(pack_keys, uniq_keys)
+                        merged_sids = np.empty(len(merged), dtype=np.int64)
+                        merged_sids[np.searchsorted(merged, pack_keys)] = pack_sids
+                        merged_sids[np.searchsorted(merged, uniq_keys)] = new_sids
+                        pack_keys, pack_sids = merged, merged_sids
+                    else:
+                        pack_base = base
+                        pack_keys, pack_sids = uniq_keys, new_sids
+                else:
+                    pack_base = -1
+                    pack_keys = pack_sids = None
+            if handled:
+                fastpath_rounds += 1
+            else:
+                sortpath_rounds += 1
+            state[live] = st
+
+        occurrences += int(alive.sum())
+        walk[live] += alive.sum(axis=1)
+
+        stops_np = vtables.sync_stops(np, state_stops)
+        done = (stops_np[state[live]] | ~node_valid[live]).all(axis=1)
+        if done.any():
+            finished = live[done]
+            rounds[finished] = current_round
+            halted[finished] = True
+            live = live[~done]
+
+    if live.size:
+        rounds[live] = current_round  # round budget exhausted, not halted
+
+    # Materialize results (memoized over repeated final configurations,
+    # keyed per topology group: equal state rows of different topologies
+    # name different nodes).
+    result_memo: dict[tuple, tuple[dict, dict]] = {}
+    total_executed = 0
+    total_duplicates = 0
+    replicated_occurrences = 0
+    for group_index, layout in enumerate(layouts):
+        topology, group, indices, group_inputs, executed, duplicates, offset = layout
+        nodes = topology.nodes
+        n = len(nodes)
+        for row, position in enumerate(executed):
+            r = offset + row
+            state_row = state[r, :n]
+            instance_halted = bool(halted[r])
+            instance_rounds = int(rounds[r])
+            memo_key = (group_index, instance_halted, instance_rounds, state_row.tobytes())
+            memoized = result_memo.get(memo_key)
+            if memoized is None:
+                sids = [int(sid) for sid in state_row]
+                final_states = dict(zip(nodes, map(state_values.__getitem__, sids)))
+                if instance_halted:
+                    outputs = dict(zip(nodes, map(output_of, sids)))
+                else:
+                    outputs = {
+                        nodes[i]: output_of(sid)
+                        for i, sid in enumerate(sids)
+                        if state_stops[sid]
+                    }
+                memoized = result_memo[memo_key] = (outputs, final_states)
+            results[indices[position]] = ExecutionResult(
+                outputs=memoized[0].copy(),
+                rounds=instance_rounds,
+                halted=instance_halted,
+                trace=None,
+                states=memoized[1].copy(),
+            )
+        position_of = {position: row for row, position in enumerate(executed)}
+        for position, representative in duplicates:
+            original = results[indices[representative]]
+            replicated_occurrences += int(walk[offset + position_of[representative]])
+            results[indices[position]] = ExecutionResult(
+                outputs=original.outputs.copy(),
+                rounds=original.rounds,
+                halted=original.halted,
+                trace=None,
+                states=dict(original.states) if original.states is not None else None,
+            )
+        total_executed += len(executed)
+        total_duplicates += len(duplicates)
+
+    if stats is not None:
+        stats.executed += total_executed
+        stats.replicated += total_duplicates
+        stats.rounds += int(rounds.sum())
+        stats.occurrences += occurrences
+        stats.replicated_occurrences += replicated_occurrences
+        stats.evaluations += evaluations
+    if _metrics.enabled():
+        _metrics.counter("vector.arena_batches").inc()
+        _metrics.gauge("vector.arena_rows").set(total_rows)
         if fastpath_rounds:
             _metrics.counter("vector.rounds_fastpath").inc(fastpath_rounds)
         if sortpath_rounds:

@@ -1,0 +1,537 @@
+"""Tests for the cross-campaign kernel plan cache.
+
+The plan cache is a pure warm-start channel: a :class:`KernelPlan` captures
+the interned transition/send/configuration tables of the sweep and vector
+engines, travels as bytes (store artifacts) or shared memory (pool workers),
+and pre-fills a fresh wrapper so re-runs skip every transition evaluation.
+The contract under test is twofold:
+
+* **identity** -- a plan-warmed run produces results (and campaign manifest
+  digests) byte-identical to a cold run, across engines, backends and
+  execution paths, including a plan serialized in one interpreter and loaded
+  in a fresh one;
+* **lifecycle** -- deltas captured on workers fold losslessly into the
+  parent's tables, shared-memory generations retire safely, stale refs and
+  unserializable content degrade to cold builds, never to errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import obs
+from repro.campaign import CampaignSpec, GraphGrid, ResultStore, migrate_store, run_campaign
+from repro.campaign.executor import PlanCache, _memo_put, set_worker_memo_limit
+from repro.campaign.registry import build_algorithm
+from repro.campaign.service import CampaignService
+from repro.execution.plan import (
+    ARTIFACT_KIND,
+    KernelPlan,
+    PlanPublisher,
+    PlanRef,
+    algorithm_fingerprint,
+    capture_delta,
+    capture_plan,
+    fold_delta,
+    install_plan,
+    load_plans,
+    plan_key,
+)
+from repro.execution.sweep import SweepStats, run_sweep
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.ports import consistent_port_numbering, random_port_numbering
+from repro.machines.fastpath import fast_path
+
+REPO_SRC = Path(repro.__file__).resolve().parents[1]
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="vector engine needs numpy")
+
+
+def mixed_instances():
+    """Mixed topologies and numberings: exercises ports, broadcast, padding."""
+    import random
+
+    instances = []
+    for graph in (cycle_graph(4), cycle_graph(6), path_graph(5), star_graph(4)):
+        instances.append((graph, consistent_port_numbering(graph)))
+        instances.append((graph, random_port_numbering(graph, rng=random.Random(7))))
+    return instances
+
+
+def result_fingerprint(results) -> list[tuple]:
+    return [
+        (sorted(r.outputs.items()), r.rounds, r.halted, sorted(r.states.items()))
+        for r in results
+    ]
+
+
+def fresh_wrapper(name: str = "gather-degrees"):
+    return fast_path(build_algorithm(name), memoize_transitions=True)
+
+
+# --------------------------------------------------------------------------- #
+# Plan capture / install round-trips
+# --------------------------------------------------------------------------- #
+
+
+class TestPlanRoundTrip:
+    def test_sweep_plan_warm_start(self):
+        instances = mixed_instances()
+        cold = fresh_wrapper()
+        cold_stats = SweepStats()
+        expected = result_fingerprint(
+            run_sweep(cold, instances, max_rounds=50, stats=cold_stats)
+        )
+        plan = KernelPlan.from_bytes(capture_plan(cold).to_bytes())
+        assert not plan.empty
+        warm = fresh_wrapper()
+        install_plan(warm, plan)
+        warm_stats = SweepStats()
+        got = result_fingerprint(
+            run_sweep(warm, instances, max_rounds=50, stats=warm_stats)
+        )
+        assert got == expected
+        # The plan carried every distinct configuration: zero evaluations,
+        # and the dedup accounting matches the cold sweep step for step.
+        assert warm_stats.evaluations == 0
+        assert warm_stats.occurrences == cold_stats.occurrences
+        assert warm_stats.replicated_occurrences == cold_stats.replicated_occurrences
+        assert warm_stats.executed == cold_stats.executed
+        assert warm_stats.distinct_states == 0
+
+    @needs_numpy
+    def test_vector_plan_warm_start(self):
+        from repro.execution.vector import run_vector
+
+        instances = mixed_instances()
+        cold = fresh_wrapper()
+        expected = result_fingerprint(run_vector(cold, instances, max_rounds=50))
+        plan = KernelPlan.from_bytes(capture_plan(cold).to_bytes())
+        assert plan.counts()["vector_configs"] > 0
+        warm = fresh_wrapper()
+        install_plan(warm, plan)
+        warm_stats = SweepStats()
+        got = result_fingerprint(
+            run_vector(warm, instances, max_rounds=50, stats=warm_stats)
+        )
+        assert got == expected
+        assert warm_stats.evaluations == 0
+
+    @needs_numpy
+    def test_arena_batching_matches_grouped(self):
+        from repro.execution.vector import run_vector
+
+        instances = mixed_instances()
+        for name in ("degree", "gather-degrees", "leaf-election"):
+            grouped = result_fingerprint(
+                run_vector(fresh_wrapper(name), instances, max_rounds=50, arena=False)
+            )
+            arena = result_fingerprint(
+                run_vector(fresh_wrapper(name), instances, max_rounds=50, arena=True)
+            )
+            assert arena == grouped
+
+    def test_fresh_interpreter_round_trip(self, tmp_path):
+        """Satellite contract: a plan serialized here, loaded by a brand-new
+        interpreter, reproduces identical results and dedup figures warm."""
+        instances = mixed_instances()
+        cold = fresh_wrapper()
+        cold_stats = SweepStats()
+        expected = [
+            [
+                sorted((repr(k), repr(v)) for k, v in r.outputs.items()),
+                r.rounds,
+                r.halted,
+                sorted((repr(k), repr(v)) for k, v in r.states.items()),
+            ]
+            for r in run_sweep(cold, instances, max_rounds=50, stats=cold_stats)
+        ]
+        plan_path = tmp_path / "plan.bin"
+        plan_path.write_bytes(capture_plan(cold).to_bytes())
+
+        script = """
+import json, random, sys
+from repro.campaign.registry import build_algorithm
+from repro.execution.plan import KernelPlan, install_plan
+from repro.execution.sweep import SweepStats, run_sweep
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.ports import consistent_port_numbering, random_port_numbering
+from repro.machines.fastpath import fast_path
+
+instances = []
+for graph in (cycle_graph(4), cycle_graph(6), path_graph(5), star_graph(4)):
+    instances.append((graph, consistent_port_numbering(graph)))
+    instances.append((graph, random_port_numbering(graph, rng=random.Random(7))))
+
+fast = fast_path(build_algorithm("gather-degrees"), memoize_transitions=True)
+with open(sys.argv[1], "rb") as fh:
+    install_plan(fast, KernelPlan.from_bytes(fh.read()))
+stats = SweepStats()
+results = run_sweep(fast, instances, max_rounds=50, stats=stats)
+print(json.dumps({
+    "results": [
+        [
+            sorted([repr(k), repr(v)] for k, v in r.outputs.items()),
+            r.rounds,
+            r.halted,
+            sorted([repr(k), repr(v)] for k, v in r.states.items()),
+        ]
+        for r in results
+    ],
+    "stats": stats.to_dict(),
+}))
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(plan_path)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["results"] == json.loads(json.dumps(expected))
+        assert payload["stats"]["evaluations"] == 0
+        assert payload["stats"]["occurrences"] == cold_stats.occurrences
+        assert payload["stats"]["naive_occurrences"] == cold_stats.naive_occurrences
+        assert payload["stats"]["executed"] == cold_stats.executed
+
+    def test_empty_plan_from_cold_wrapper(self):
+        plan = capture_plan(fresh_wrapper())
+        assert plan.empty
+        # Installing an empty plan is a no-op that still leaves the wrapper
+        # runnable.
+        warm = fresh_wrapper()
+        install_plan(warm, plan)
+        results = run_sweep(warm, [(cycle_graph(4), None)], max_rounds=50)
+        assert results[0].halted
+
+
+class TestPlanKey:
+    def test_key_separates_engines(self):
+        fast = fresh_wrapper()
+        assert plan_key(fast, "sweep") != plan_key(fast, "vector")
+
+    def test_key_stable_across_rebuilds(self):
+        assert plan_key(fresh_wrapper(), "sweep") == plan_key(fresh_wrapper(), "sweep")
+
+    def test_fingerprint_separates_algorithms(self):
+        assert algorithm_fingerprint(fresh_wrapper("degree")) != algorithm_fingerprint(
+            fresh_wrapper("gather-degrees")
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Worker deltas
+# --------------------------------------------------------------------------- #
+
+
+class TestPlanDeltas:
+    def test_delta_folds_new_discoveries(self):
+        seed_instances = [(cycle_graph(4), None)]
+        more_instances = [(path_graph(6), None), (star_graph(5), None)]
+
+        teacher = fresh_wrapper()
+        run_sweep(teacher, seed_instances, max_rounds=50)
+        plan = capture_plan(teacher)
+
+        # Worker: install the plan, discover new configurations, capture the
+        # delta relative to the installed baseline.
+        worker = fresh_wrapper()
+        baseline = install_plan(worker, plan)
+        run_sweep(worker, more_instances, max_rounds=50)
+        delta = capture_delta(worker, baseline)
+        assert delta is not None and not delta.empty
+
+        # Parent: fold the delta into its own plan-installed wrapper; the
+        # folded tables answer the new instances without evaluations.
+        parent = fresh_wrapper()
+        install_plan(parent, plan)
+        assert fold_delta(parent, delta)
+        stats = SweepStats()
+        warm = result_fingerprint(
+            run_sweep(parent, more_instances, max_rounds=50, stats=stats)
+        )
+        assert stats.evaluations == 0
+        assert warm == result_fingerprint(
+            run_sweep(fresh_wrapper(), more_instances, max_rounds=50)
+        )
+
+    def test_no_discoveries_no_delta(self):
+        instances = [(cycle_graph(4), None)]
+        teacher = fresh_wrapper()
+        run_sweep(teacher, instances, max_rounds=50)
+        worker = fresh_wrapper()
+        baseline = install_plan(worker, capture_plan(teacher))
+        run_sweep(worker, instances, max_rounds=50)
+        assert capture_delta(worker, baseline) is None
+
+    def test_fold_is_idempotent(self):
+        teacher = fresh_wrapper()
+        baseline = install_plan(teacher, capture_plan(fresh_wrapper()))
+        run_sweep(teacher, [(cycle_graph(5), None)], max_rounds=50)
+        delta = capture_delta(teacher, baseline)
+        assert delta is not None
+        target = fresh_wrapper()
+        install_plan(target, capture_plan(fresh_wrapper()))
+        assert fold_delta(target, delta)
+        assert not fold_delta(target, delta)
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory publication
+# --------------------------------------------------------------------------- #
+
+
+class TestPublisher:
+    def _plan(self):
+        fast = fresh_wrapper()
+        run_sweep(fast, mixed_instances(), max_rounds=50)
+        return capture_plan(fast)
+
+    def test_publish_load_close(self):
+        plan = self._plan()
+        publisher = PlanPublisher()
+        try:
+            ref = publisher.publish({"gather-degrees": plan})
+            assert ref is not None
+            loaded = load_plans(ref)
+            assert loaded is not None
+            assert loaded["gather-degrees"].counts() == plan.counts()
+        finally:
+            publisher.close()
+        if ref.kind == "shm":
+            assert load_plans(ref) is None  # unlinked at close -> cold build
+
+    def test_one_retired_generation_stays_loadable(self):
+        plan = self._plan()
+        publisher = PlanPublisher()
+        try:
+            ref1 = publisher.publish({"a": plan})
+            ref2 = publisher.publish({"a": plan})
+            ref3 = publisher.publish({"a": plan})
+            if ref3.kind != "shm":
+                pytest.skip("no shared memory on this platform")
+            # The previous generation survives for in-flight tasks; anything
+            # older is unlinked and degrades to a cold build.
+            assert load_plans(ref3) is not None
+            assert load_plans(ref2) is not None
+            assert load_plans(ref1) is None
+        finally:
+            publisher.close()
+
+    def test_stale_ref_degrades_to_none(self):
+        assert load_plans(None) is None
+        bogus = PlanRef(kind="shm", name="psm_does_not_exist", payload=None, generation=9)
+        assert load_plans(bogus) is None
+
+    def test_corrupt_artifact_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPlan.from_bytes(b"not a plan")
+
+
+# --------------------------------------------------------------------------- #
+# Digest identity across execution paths and backends
+# --------------------------------------------------------------------------- #
+
+
+def plan_spec(name: str = "plan-identity") -> CampaignSpec:
+    engines = ["sweep", "vector"] if HAVE_NUMPY else ["sweep"]
+    return CampaignSpec(
+        name=name,
+        kind="execution",
+        graphs=[
+            GraphGrid.of("cycle", {"n": [4, 5, 6]}),
+            GraphGrid.of("path", {"n": [3, 5]}),
+        ],
+        algorithms=["degree", "gather-degrees"],
+        engines=engines,
+        max_rounds=64,
+    )
+
+
+BACKEND_URIS = {
+    "json": lambda tmp, tag: f"json:{tmp / tag}",
+    "sqlite": lambda tmp, tag: f"sqlite:{tmp / f'{tag}.db'}",
+}
+
+
+class TestDigestIdentity:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_URIS))
+    def test_plan_cached_paths_match_cold(self, tmp_path, backend):
+        spec = plan_spec()
+        uri = BACKEND_URIS[backend]
+
+        cold = run_campaign(spec, uri(tmp_path, "cold"), use_plan_cache=False)
+        serial = run_campaign(spec, uri(tmp_path, "serial"))
+        sharded = run_campaign(spec, uri(tmp_path, "sharded"), workers=2)
+        assert cold.manifest_digest == serial.manifest_digest
+        assert cold.manifest_digest == sharded.manifest_digest
+
+        # Second run against the serial store: every plan is loaded from the
+        # artifact channel, records are forcibly re-evaluated warm, and the
+        # digest still cannot move.
+        warm = run_campaign(spec, uri(tmp_path, "serial"), resume=False)
+        assert warm.manifest_digest == cold.manifest_digest
+
+        store = ResultStore(uri(tmp_path, "serial"))
+        assert store.list_artifacts(ARTIFACT_KIND)
+
+    def test_service_path_matches_cold(self, tmp_path):
+        spec = plan_spec("plan-service")
+        cold = run_campaign(spec, tmp_path / "cold", use_plan_cache=False)
+        with CampaignService(tmp_path / "svc", workers=2) as service:
+            job = service.submit(spec)
+            assert service.wait(job, timeout=300)
+            status = service.status(job)
+        assert status["status"] == "done"
+        assert status["manifest_digest"] == cold.manifest_digest
+        assert ResultStore(tmp_path / "svc").list_artifacts(ARTIFACT_KIND)
+
+    def test_plan_cache_counters(self, tmp_path):
+        spec = plan_spec("plan-counters")
+        obs.reset()
+        obs.enable()
+        try:
+            run_campaign(spec, tmp_path / "store")
+            first = obs.snapshot()["counters"]
+            run_campaign(spec, tmp_path / "store", resume=False)
+            second = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        # Cold run: every (algorithm, engine) key misses, plans persist.
+        assert first.get("plan.cache.miss", 0) > 0
+        assert first.get("plan.cache.persist", 0) > 0
+        # Warm run: the stored artifacts answer the same keys.
+        assert second.get("plan.cache.hit", 0) >= first.get("plan.cache.miss", 0)
+
+
+class TestPlanCacheCoordinator:
+    def test_prepare_is_idempotent_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        cache = PlanCache(store)
+        scenarios = plan_spec().expand()
+        cache.prepare(scenarios)
+        wrappers = dict(cache._wrappers)
+        cache.prepare(scenarios)
+        assert cache._wrappers == wrappers  # same objects, no rebuilds
+        cache.close()
+
+    def test_disabled_cache_is_inert(self, tmp_path):
+        cache = PlanCache(ResultStore(tmp_path / "store"), enabled=False)
+        cache.prepare(plan_spec().expand())
+        assert cache.ref() is None
+        assert not cache._wrappers
+        cache.persist()
+        cache.close()
+
+    def test_unplannable_scenarios_ignored(self, tmp_path):
+        spec = CampaignSpec(
+            name="unplannable",
+            kind="execution",
+            graphs=[GraphGrid.of("cycle", {"n": [4]})],
+            algorithms=["degree"],
+            engines=["compiled"],
+        )
+        cache = PlanCache(ResultStore(tmp_path / "store"))
+        cache.prepare(spec.expand())
+        assert not cache._wrappers
+        cache.close()
+
+
+# --------------------------------------------------------------------------- #
+# Store artifacts channel
+# --------------------------------------------------------------------------- #
+
+
+class TestArtifacts:
+    @pytest.mark.parametrize("backend", sorted(BACKEND_URIS))
+    def test_round_trip(self, tmp_path, backend):
+        store = ResultStore(BACKEND_URIS[backend](tmp_path, "art"))
+        key = "ab" + "0" * 62
+        assert store.get_artifact("plan", key) is None
+        assert store.list_artifacts("plan") == []
+        assert store.put_artifact("plan", key, b"payload")
+        assert store.get_artifact("plan", key) == b"payload"
+        assert store.list_artifacts("plan") == [key]
+        # Overwrite wins: plans grow monotonically across runs.
+        assert store.put_artifact("plan", key, b"payload-2")
+        assert store.get_artifact("plan", key) == b"payload-2"
+
+    def test_migration_carries_artifacts(self, tmp_path):
+        src = ResultStore(f"json:{tmp_path / 'src'}")
+        key = "cd" + "1" * 62
+        src.put_artifact(ARTIFACT_KIND, key, b"plan-bytes")
+        report = migrate_store(src.uri, f"sqlite:{tmp_path / 'dst.db'}")
+        assert report["artifacts_copied"] == 1
+        dst = ResultStore(f"sqlite:{tmp_path / 'dst.db'}")
+        assert dst.get_artifact(ARTIFACT_KIND, key) == b"plan-bytes"
+
+
+# --------------------------------------------------------------------------- #
+# Worker memo eviction accounting
+# --------------------------------------------------------------------------- #
+
+
+class TestMemoEviction:
+    def test_eviction_counter_and_limit(self):
+        obs.reset()
+        obs.enable()
+        try:
+            memo: dict = {}
+            for i in range(3):
+                _memo_put(memo, f"k{i}", i, limit=2)
+            # Third insert tripped the cap: the memo was cleared, then the
+            # newcomer stored.
+            assert len(memo) == 1 and memo["k2"] == 2
+            counters = obs.snapshot()["counters"]
+            assert counters.get("campaign.memo.evictions", 0) == 1
+            assert obs.snapshot()["gauges"].get("campaign.memo.limit") == 2.0
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_set_worker_memo_limit(self):
+        original = set_worker_memo_limit(7)
+        try:
+            memo: dict = {}
+            for i in range(8):
+                _memo_put(memo, f"k{i}", i)
+            assert len(memo) == 1  # 8th insert evicted the full memo
+        finally:
+            set_worker_memo_limit(original)
+
+    def test_env_override(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["REPRO_WORKER_MEMO_LIMIT"] = "3"
+        script = (
+            "from repro.campaign import executor\n"
+            "assert executor._WORKER_MEMO_LIMIT == 3, executor._WORKER_MEMO_LIMIT\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True, env=env
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
